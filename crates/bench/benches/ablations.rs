@@ -1,0 +1,98 @@
+//! Cost of the theory oracles the figure harness leans on: exact LMMF
+//! allocations (max-flow progressive filling), fluid-model convergence, and
+//! the per-subflow vs connection-level controller step (the §4 ablation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mpcc::theory::{fluid_converge, lmmf_allocation, ParallelNetSpec};
+use mpcc::{ConnectionLevel, Mpcc, MpccConfig, StateConfig};
+use mpcc_simcore::{SimDuration, SimTime};
+use mpcc_transport::{MiReport, MultipathCc};
+
+fn bench_lmmf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lmmf");
+    group.bench_function("fig1_3links", |b| {
+        b.iter(|| black_box(lmmf_allocation(&ParallelNetSpec::fig1())))
+    });
+    // A larger instance: 10 links, 12 connections over random-ish subsets.
+    let big = ParallelNetSpec {
+        capacities: (0..10).map(|i| 50.0 + 25.0 * i as f64).collect(),
+        conns: (0..12)
+            .map(|i| vec![i % 10, (i * 3 + 1) % 10, (i * 7 + 2) % 10])
+            .collect(),
+    };
+    group.bench_function("10links_12conns", |b| {
+        b.iter(|| black_box(lmmf_allocation(&big)))
+    });
+    group.finish();
+}
+
+fn bench_fluid(c: &mut Criterion) {
+    let spec = ParallelNetSpec {
+        capacities: vec![100.0, 100.0],
+        conns: vec![vec![0, 1], vec![1]],
+    };
+    let start = vec![vec![10.0, 10.0], vec![10.0]];
+    c.bench_function("fluid_converge_1k_iters", |b| {
+        b.iter(|| {
+            black_box(fluid_converge(
+                &mpcc::UtilityParams::mpcc_loss(),
+                &spec,
+                &start,
+                1000,
+                0.5,
+            ))
+        })
+    });
+}
+
+fn drive_mi_controller(cc: &mut dyn MultipathCc, subflows: usize, cycles: u64) -> f64 {
+    cc.init_subflow(0, SimTime::ZERO);
+    for sf in 1..subflows {
+        cc.init_subflow(sf, SimTime::ZERO);
+    }
+    let mut total = 0.0;
+    for i in 0..cycles {
+        let now = SimTime::from_millis(60 * (i + 1));
+        for sf in 0..subflows {
+            let rate = cc.begin_mi(sf, now);
+            total += rate.mbps();
+            cc.on_mi_complete(&MiReport {
+                subflow: sf,
+                rate,
+                start: now,
+                duration: SimDuration::from_millis(60),
+                completed_at: now + SimDuration::from_millis(60),
+                sent_packets: 300,
+                acked_packets: 300,
+                lost_packets: 0,
+                acked_bytes: 300 * 1448,
+                loss_rate: 0.0,
+                goodput: rate,
+                latency_gradient: 0.0,
+                mean_rtt: SimDuration::from_millis(60),
+                app_limited: false,
+            });
+        }
+    }
+    total
+}
+
+fn bench_controller_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_step_100_cycles");
+    group.bench_function("per_subflow_mpcc", |b| {
+        b.iter(|| {
+            let mut cc = Mpcc::new(MpccConfig::loss().with_seed(2));
+            black_box(drive_mi_controller(&mut cc, 3, 100))
+        })
+    });
+    group.bench_function("connection_level", |b| {
+        b.iter(|| {
+            let mut cc = ConnectionLevel::new(StateConfig::default(), 2);
+            black_box(drive_mi_controller(&mut cc, 3, 100))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lmmf, bench_fluid, bench_controller_ablation);
+criterion_main!(benches);

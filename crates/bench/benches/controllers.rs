@@ -1,0 +1,112 @@
+//! Per-event cost of every congestion controller: ACK processing for the
+//! window-based family, monitor-interval decisions for MPCC.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mpcc::{Mpcc, MpccConfig, StateConfig, SubflowCtl};
+use mpcc_cc::{balia, lia, olia, reno, Bbr, WVegas};
+use mpcc_simcore::{Rate, SimDuration, SimRng, SimTime};
+use mpcc_transport::{AckInfo, MiReport, MultipathCc};
+
+fn ack(subflow: usize, i: u64) -> AckInfo {
+    AckInfo {
+        subflow,
+        now: SimTime::from_millis(i),
+        acked_packets: 1,
+        acked_bytes: 1448,
+        rtt: SimDuration::from_millis(50),
+        srtt: SimDuration::from_millis(50),
+        min_rtt: SimDuration::from_millis(48),
+        bw_sample: Rate::from_mbps(95.0),
+        inflight_bytes: 400_000,
+    }
+}
+
+fn bench_window_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("on_ack_1k");
+    let ctors: Vec<(&str, fn() -> Box<dyn MultipathCc>)> = vec![
+        ("reno", || Box::new(reno())),
+        ("lia", || Box::new(lia())),
+        ("olia", || Box::new(olia())),
+        ("balia", || Box::new(balia())),
+        ("wvegas", || Box::new(WVegas::new())),
+        ("bbr", || Box::new(Bbr::new())),
+    ];
+    for (name, ctor) in ctors {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cc = ctor();
+                cc.init_subflow(0, SimTime::ZERO);
+                cc.init_subflow(1, SimTime::ZERO);
+                for i in 0..1000u64 {
+                    cc.on_ack(&ack((i % 2) as usize, i));
+                }
+                black_box(cc.cwnd_bytes(0, SimDuration::from_millis(50)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mpcc_mi_cycle(c: &mut Criterion) {
+    c.bench_function("mpcc_mi_decision_100", |b| {
+        b.iter(|| {
+            let mut cc = Mpcc::new(MpccConfig::loss().with_seed(3));
+            cc.init_subflow(0, SimTime::ZERO);
+            cc.init_subflow(1, SimTime::ZERO);
+            for i in 0..100u64 {
+                let now = SimTime::from_millis(60 * (i + 1));
+                for sf in 0..2 {
+                    let rate = cc.begin_mi(sf, now);
+                    cc.on_mi_complete(&MiReport {
+                        subflow: sf,
+                        rate,
+                        start: now,
+                        duration: SimDuration::from_millis(60),
+                        completed_at: now + SimDuration::from_millis(60),
+                        sent_packets: 500,
+                        acked_packets: 498,
+                        lost_packets: 2,
+                        acked_bytes: 498 * 1448,
+                        loss_rate: 0.004,
+                        goodput: rate,
+                        latency_gradient: 0.001,
+                        mean_rtt: SimDuration::from_millis(60),
+                        app_limited: false,
+                    });
+                }
+            }
+            black_box(cc.total_published())
+        })
+    });
+}
+
+fn bench_state_machine(c: &mut Criterion) {
+    c.bench_function("subflow_ctl_next_mi_report_1k", |b| {
+        b.iter(|| {
+            let mut ctl = SubflowCtl::new(StateConfig::default());
+            let mut rng = SimRng::seed_from_u64(5);
+            for _ in 0..1000 {
+                let issued = ctl.next_mi(50.0, 50.0 + ctl.rate(), &mut rng);
+                ctl.on_report(
+                    mpcc::MiOutcome {
+                        achieved: issued.rate,
+                        loss: if issued.rate > 90.0 { 0.05 } else { 0.0 },
+                        lat_gradient: 0.0,
+                        app_limited: false,
+                    },
+                    50.0 + ctl.rate(),
+                    &mut rng,
+                );
+            }
+            black_box(ctl.rate())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_window_family,
+    bench_mpcc_mi_cycle,
+    bench_state_machine
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Miniature end-to-end versions of the paper's headline scenarios
+//! (2 simulated seconds each): one per table/figure family, so a
+//! performance regression in any layer is visible per scenario.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mpcc::{Mpcc, MpccConfig};
+use mpcc_bench::run_bulk_sim;
+use mpcc_cc::{lia, Bbr};
+use mpcc_netsim::link::LinkParams;
+use mpcc_netsim::topology::parallel_links;
+use mpcc_simcore::{SimDuration, SimTime};
+use mpcc_transport::{MpReceiver, MpSender, SchedulerKind, SenderConfig};
+
+const SIM_SECS: u64 = 2;
+
+/// Fig. 5 family: shallow buffer (9 KB on link 1).
+fn mini_fig5(cc: Box<dyn mpcc_transport::MultipathCc>, sched: SchedulerKind) -> u64 {
+    let links = [
+        LinkParams::paper_default().with_buffer(9_000),
+        LinkParams::paper_default(),
+    ];
+    run_two_link(cc, sched, &links)
+}
+
+/// Fig. 6 family: 1% random loss on link 1.
+fn mini_fig6(cc: Box<dyn mpcc_transport::MultipathCc>, sched: SchedulerKind) -> u64 {
+    let links = [
+        LinkParams::paper_default().with_random_loss(0.01),
+        LinkParams::paper_default(),
+    ];
+    run_two_link(cc, sched, &links)
+}
+
+fn run_two_link(
+    cc: Box<dyn mpcc_transport::MultipathCc>,
+    sched: SchedulerKind,
+    links: &[LinkParams; 2],
+) -> u64 {
+    let mut net = parallel_links(5, links);
+    let p0 = net.path(0);
+    let p1 = net.path(1);
+    let mut sim = net.sim;
+    let recv = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
+    let cfg = SenderConfig::bulk(recv, vec![p0, p1]).with_scheduler(sched);
+    let sender = sim.add_endpoint(Box::new(MpSender::new(cfg, cc)));
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(SIM_SECS));
+    sim.endpoint::<MpSender>(sender).data_acked()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mini_figures");
+    group.sample_size(10);
+    group.bench_function("fig5_shallow_buffer_mpcc", |b| {
+        b.iter(|| {
+            black_box(mini_fig5(
+                Box::new(Mpcc::new(MpccConfig::loss().with_seed(1))),
+                SchedulerKind::paper_rate_based(),
+            ))
+        })
+    });
+    group.bench_function("fig5_shallow_buffer_lia", |b| {
+        b.iter(|| black_box(mini_fig5(Box::new(lia()), SchedulerKind::Default)))
+    });
+    group.bench_function("fig6_random_loss_mpcc", |b| {
+        b.iter(|| {
+            black_box(mini_fig6(
+                Box::new(Mpcc::new(MpccConfig::loss().with_seed(1))),
+                SchedulerKind::paper_rate_based(),
+            ))
+        })
+    });
+    group.bench_function("fig9_latency_mpcc_latency", |b| {
+        b.iter(|| {
+            black_box(run_bulk_sim(
+                Box::new(Mpcc::new(MpccConfig::latency().with_seed(1))),
+                SchedulerKind::paper_rate_based(),
+                2,
+                SIM_SECS,
+                9,
+            ))
+        })
+    });
+    group.bench_function("sched_default_bbr", |b| {
+        b.iter(|| {
+            black_box(run_bulk_sim(
+                Box::new(Bbr::new()),
+                SchedulerKind::Default,
+                2,
+                SIM_SECS,
+                9,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

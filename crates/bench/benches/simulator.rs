@@ -1,0 +1,114 @@
+//! Simulator-core throughput: event queue, droptail link, range sets, and
+//! end-to-end packets-per-wall-second.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mpcc_bench::run_bulk_sim;
+use mpcc_cc::reno;
+use mpcc_netsim::ids::{EndpointId, PathId};
+use mpcc_netsim::link::{Admission, Link, LinkParams};
+use mpcc_netsim::packet::{DataHeader, Header, Packet, MSS_PAYLOAD, MSS_WIRE};
+use mpcc_simcore::{EventQueue, SimRng, SimTime};
+use mpcc_transport::ranges::RangeSet;
+use mpcc_transport::SchedulerKind;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(SimTime::from_micros((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn packet(i: u64) -> Packet {
+    Packet {
+        id: i,
+        src: EndpointId(0),
+        dst: EndpointId(1),
+        path: PathId(0),
+        hop: 0,
+        size: MSS_WIRE,
+        header: Header::Data(DataHeader {
+            subflow: 0,
+            seq: i,
+            dsn: i * MSS_PAYLOAD,
+            payload_len: MSS_PAYLOAD,
+            sent_at: SimTime::ZERO,
+            is_retransmission: false,
+        }),
+    }
+}
+
+fn bench_link(c: &mut Criterion) {
+    c.bench_function("link_admit_complete_1k", |b| {
+        b.iter(|| {
+            let mut link = Link::new(LinkParams::paper_default().with_buffer(u64::MAX));
+            let mut rng = SimRng::seed_from_u64(1);
+            let mut now = SimTime::ZERO;
+            for i in 0..1000u64 {
+                match link.admit(packet(i), now, &mut rng) {
+                    Admission::StartTx(done) => {
+                        let (_, _) = link.complete_tx(done);
+                        now = done;
+                    }
+                    Admission::Queued => {
+                        let (_, next) = link.complete_tx(now);
+                        if let Some(t) = next {
+                            now = t;
+                        }
+                    }
+                    Admission::Dropped => unreachable!(),
+                }
+            }
+            black_box(link.stats().delivered_packets)
+        })
+    });
+}
+
+fn bench_range_set(c: &mut Criterion) {
+    c.bench_function("range_set_insert_scattered_1k", |b| {
+        b.iter(|| {
+            let mut rs = RangeSet::new();
+            // Scattered inserts that progressively coalesce.
+            for i in 0..1000u64 {
+                let v = (i * 7919) % 2000;
+                rs.insert(v, v + 1);
+            }
+            black_box(rs.covered())
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    // One simulated second at 100 Mbps ≈ 8.6k data packets + ACKs.
+    group.bench_function("reno_1link_1s", |b| {
+        b.iter(|| {
+            black_box(run_bulk_sim(
+                Box::new(reno()),
+                SchedulerKind::Default,
+                1,
+                1,
+                7,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_link,
+    bench_range_set,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! # mpcc-bench
+//!
+//! Shared helpers for the Criterion benchmark suites:
+//!
+//! * `benches/simulator.rs` — event-loop and data-structure throughput;
+//! * `benches/controllers.rs` — per-event cost of every congestion
+//!   controller and of the MPCC decision machinery;
+//! * `benches/figures.rs` — miniature (few-simulated-seconds) versions of
+//!   the paper's headline scenarios, so regressions in end-to-end cost
+//!   show up;
+//! * `benches/ablations.rs` — cost of the theory oracles (LMMF, fluid
+//!   convergence) the figure harness calls.
+
+use mpcc_netsim::link::LinkParams;
+use mpcc_netsim::topology::uniform_parallel_links;
+use mpcc_simcore::{SimDuration, SimTime};
+use mpcc_transport::{MpReceiver, MpSender, MultipathCc, SenderConfig};
+
+/// Runs one bulk connection (controller `cc`) over `n_links` paper-default
+/// links for `sim_secs` simulated seconds; returns delivered bytes.
+/// Benchmarks wrap this to measure wall time per simulated second.
+pub fn run_bulk_sim(
+    cc: Box<dyn MultipathCc>,
+    scheduler: mpcc_transport::SchedulerKind,
+    n_links: usize,
+    sim_secs: u64,
+    seed: u64,
+) -> u64 {
+    let mut net = uniform_parallel_links(seed, n_links, LinkParams::paper_default());
+    let paths: Vec<_> = (0..n_links).map(|i| net.path(i)).collect();
+    let mut sim = net.sim;
+    let recv = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
+    let cfg = SenderConfig::bulk(recv, paths).with_scheduler(scheduler);
+    let sender = sim.add_endpoint(Box::new(MpSender::new(cfg, cc)));
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(sim_secs));
+    sim.endpoint::<MpSender>(sender).data_acked()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcc_cc::reno;
+    use mpcc_transport::SchedulerKind;
+
+    #[test]
+    fn helper_moves_data() {
+        let delivered = run_bulk_sim(Box::new(reno()), SchedulerKind::Default, 1, 3, 9);
+        assert!(delivered > 1_000_000, "{delivered}");
+    }
+}

@@ -1,0 +1,371 @@
+//! BBR v1 (Cardwell et al. 2016), simplified, run independently per subflow
+//! — the paper's "bbr" baseline.
+//!
+//! Model-based rate control: each subflow tracks the bottleneck bandwidth
+//! (windowed max of delivery-rate samples) and the round-trip propagation
+//! delay (windowed min RTT), paces at `gain × BtlBw`, and caps inflight at
+//! `cwnd_gain × BDP`. The four phases of v1 are implemented: Startup,
+//! Drain, ProbeBW (8-phase gain cycling) and ProbeRTT.
+
+use mpcc_simcore::{Rate, SimDuration, SimTime};
+use mpcc_transport::{AckInfo, LossInfo, MultipathCc};
+use std::collections::VecDeque;
+
+/// Startup/Drain gain: 2/ln 2.
+const HIGH_GAIN: f64 = 2.885;
+/// ProbeBW gain cycle.
+const CYCLE: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// Inflight cap multiplier.
+const CWND_GAIN: f64 = 2.0;
+/// Bandwidth filter window, in round trips.
+const BW_WINDOW_ROUNDS: u64 = 10;
+/// How often ProbeRTT runs.
+const PROBE_RTT_INTERVAL: SimDuration = SimDuration::from_secs(10);
+/// How long ProbeRTT holds the window down.
+const PROBE_RTT_DURATION: SimDuration = SimDuration::from_millis(200);
+/// Minimum window during ProbeRTT, bytes (4 packets).
+const PROBE_RTT_CWND: u64 = 4 * 1448;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Startup,
+    Drain,
+    ProbeBw,
+    ProbeRtt,
+}
+
+/// Windowed max filter over (round, bandwidth) samples.
+#[derive(Default)]
+struct MaxBwFilter {
+    samples: VecDeque<(u64, Rate)>,
+}
+
+impl MaxBwFilter {
+    fn update(&mut self, round: u64, bw: Rate) {
+        while let Some(&(r, _)) = self.samples.front() {
+            if r + BW_WINDOW_ROUNDS <= round {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+        while let Some(&(_, b)) = self.samples.back() {
+            if b <= bw {
+                self.samples.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.samples.push_back((round, bw));
+    }
+
+    fn get(&self) -> Rate {
+        self.samples.front().map(|&(_, b)| b).unwrap_or(Rate::ZERO)
+    }
+}
+
+struct BbrSf {
+    phase: Phase,
+    bw: MaxBwFilter,
+    min_rtt: SimDuration,
+    min_rtt_stamp: SimTime,
+    /// Round counting: a round ends when `delivered` passes this mark.
+    delivered: u64,
+    round_end_delivered: u64,
+    round: u64,
+    /// Startup exit detection.
+    full_bw: Rate,
+    full_bw_rounds: u32,
+    filled_pipe: bool,
+    /// ProbeBW cycling.
+    cycle_index: usize,
+    cycle_stamp: SimTime,
+    /// ProbeRTT.
+    probe_rtt_done_at: Option<SimTime>,
+    pacing_rate: Rate,
+}
+
+impl BbrSf {
+    fn new(now: SimTime) -> Self {
+        BbrSf {
+            phase: Phase::Startup,
+            bw: MaxBwFilter::default(),
+            min_rtt: SimDuration::from_millis(100),
+            min_rtt_stamp: now,
+            delivered: 0,
+            round_end_delivered: 0,
+            round: 0,
+            full_bw: Rate::ZERO,
+            full_bw_rounds: 0,
+            filled_pipe: false,
+            cycle_index: 0,
+            cycle_stamp: now,
+            probe_rtt_done_at: None,
+            pacing_rate: Rate::from_mbps(1.0),
+        }
+    }
+
+    fn gain(&self) -> f64 {
+        match self.phase {
+            Phase::Startup => HIGH_GAIN,
+            Phase::Drain => 1.0 / HIGH_GAIN,
+            Phase::ProbeBw => CYCLE[self.cycle_index],
+            Phase::ProbeRtt => 1.0,
+        }
+    }
+
+    fn bdp_bytes(&self) -> u64 {
+        (self.bw.get().bytes_per_sec() * self.min_rtt.as_secs_f64()) as u64
+    }
+
+    fn on_ack(&mut self, info: &AckInfo) {
+        self.delivered += info.acked_bytes;
+        // Round accounting.
+        if self.delivered >= self.round_end_delivered {
+            self.round += 1;
+            self.round_end_delivered = self.delivered + info.inflight_bytes;
+            self.on_round_start();
+        }
+        if !info.bw_sample.is_zero() {
+            self.bw.update(self.round, info.bw_sample);
+        }
+        if info.rtt < self.min_rtt || info.now.saturating_since(self.min_rtt_stamp) > PROBE_RTT_INTERVAL
+        {
+            self.min_rtt = info.min_rtt.min(info.rtt);
+            self.min_rtt_stamp = info.now;
+        }
+        self.advance_phase(info);
+        self.pacing_rate = self.bw.get().scale(self.gain()).max(Rate::from_kbps(100.0));
+    }
+
+    fn on_round_start(&mut self) {
+        // Startup exit: bandwidth has not grown 25% for three rounds.
+        if !self.filled_pipe {
+            let bw = self.bw.get();
+            if bw.bps() > self.full_bw.bps() * 1.25 {
+                self.full_bw = bw;
+                self.full_bw_rounds = 0;
+            } else {
+                self.full_bw_rounds += 1;
+                if self.full_bw_rounds >= 3 {
+                    self.filled_pipe = true;
+                }
+            }
+        }
+    }
+
+    fn advance_phase(&mut self, info: &AckInfo) {
+        match self.phase {
+            Phase::Startup => {
+                if self.filled_pipe {
+                    self.phase = Phase::Drain;
+                }
+            }
+            Phase::Drain => {
+                if info.inflight_bytes <= self.bdp_bytes() {
+                    self.enter_probe_bw(info.now);
+                }
+            }
+            Phase::ProbeBw => {
+                // Advance the gain cycle once per min-RTT.
+                if info.now.saturating_since(self.cycle_stamp) >= self.min_rtt {
+                    self.cycle_index = (self.cycle_index + 1) % CYCLE.len();
+                    self.cycle_stamp = info.now;
+                }
+                // Time to probe RTT?
+                if info.now.saturating_since(self.min_rtt_stamp) > PROBE_RTT_INTERVAL {
+                    self.phase = Phase::ProbeRtt;
+                    self.probe_rtt_done_at = Some(info.now + PROBE_RTT_DURATION);
+                }
+            }
+            Phase::ProbeRtt => {
+                if let Some(done) = self.probe_rtt_done_at {
+                    if info.now >= done {
+                        self.min_rtt = info.min_rtt;
+                        self.min_rtt_stamp = info.now;
+                        self.probe_rtt_done_at = None;
+                        if self.filled_pipe {
+                            self.enter_probe_bw(info.now);
+                        } else {
+                            self.phase = Phase::Startup;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn enter_probe_bw(&mut self, now: SimTime) {
+        self.phase = Phase::ProbeBw;
+        // Start the cycle at a random-ish but deterministic offset would
+        // need an RNG; start after the 1.25 phase for a neutral entry.
+        self.cycle_index = 2;
+        self.cycle_stamp = now;
+    }
+
+    fn cwnd_bytes(&self) -> u64 {
+        match self.phase {
+            Phase::ProbeRtt => PROBE_RTT_CWND,
+            Phase::Startup => {
+                // Generous window while finding the pipe.
+                (self.bdp_bytes().max(10 * 1448) as f64 * HIGH_GAIN) as u64
+            }
+            _ => ((self.bdp_bytes() as f64) * CWND_GAIN).max(4.0 * 1448.0) as u64,
+        }
+    }
+}
+
+/// BBR run independently on every subflow.
+pub struct Bbr {
+    sfs: Vec<BbrSf>,
+}
+
+impl Bbr {
+    /// A fresh controller.
+    pub fn new() -> Self {
+        Bbr { sfs: Vec::new() }
+    }
+
+    /// The estimated bottleneck bandwidth of subflow `i`.
+    pub fn btl_bw(&self, i: usize) -> Rate {
+        self.sfs[i].bw.get()
+    }
+}
+
+impl Default for Bbr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MultipathCc for Bbr {
+    fn name(&self) -> &'static str {
+        "bbr"
+    }
+
+    fn init_subflow(&mut self, subflow: usize, now: SimTime) {
+        while self.sfs.len() <= subflow {
+            self.sfs.push(BbrSf::new(now));
+        }
+    }
+
+    fn on_ack(&mut self, info: &AckInfo) {
+        self.sfs[info.subflow].on_ack(info);
+    }
+
+    fn on_loss(&mut self, _info: &LossInfo) {
+        // BBR v1 ignores packet loss as a congestion signal.
+    }
+
+    fn on_rto(&mut self, subflow: usize, _now: SimTime) {
+        // Conservative restart: forget startup progress so the subflow
+        // re-probes the pipe.
+        let sf = &mut self.sfs[subflow];
+        sf.full_bw = Rate::ZERO;
+        sf.full_bw_rounds = 0;
+    }
+
+    fn cwnd_bytes(&self, subflow: usize, _srtt: SimDuration) -> u64 {
+        self.sfs[subflow].cwnd_bytes()
+    }
+
+    fn pacing_rate(&self, subflow: usize) -> Option<Rate> {
+        Some(self.sfs[subflow].pacing_rate)
+    }
+
+    fn is_rate_based(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(now_ms: u64, bw_mbps: f64, rtt_ms: u64, inflight: u64) -> AckInfo {
+        AckInfo {
+            subflow: 0,
+            now: SimTime::from_millis(now_ms),
+            acked_packets: 1,
+            acked_bytes: 1448,
+            rtt: SimDuration::from_millis(rtt_ms),
+            srtt: SimDuration::from_millis(rtt_ms),
+            min_rtt: SimDuration::from_millis(rtt_ms),
+            bw_sample: Rate::from_mbps(bw_mbps),
+            inflight_bytes: inflight,
+        }
+    }
+
+    #[test]
+    fn startup_uses_high_gain_and_exits_on_plateau() {
+        let mut cc = Bbr::new();
+        cc.init_subflow(0, SimTime::ZERO);
+        // Feed a constant 100 Mbps: growth stalls, startup must exit.
+        let mut now = 0;
+        for _ in 0..600 {
+            now += 10;
+            cc.on_ack(&ack(now, 100.0, 50, 20_000));
+        }
+        assert!(cc.sfs[0].filled_pipe);
+        assert_ne!(cc.sfs[0].phase, Phase::Startup);
+        assert!((cc.btl_bw(0).mbps() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn drain_transitions_to_probe_bw_when_inflight_below_bdp() {
+        let mut cc = Bbr::new();
+        cc.init_subflow(0, SimTime::ZERO);
+        let mut now = 0;
+        for _ in 0..600 {
+            now += 10;
+            cc.on_ack(&ack(now, 100.0, 50, 20_000));
+        }
+        // Inflight well below BDP: leaves Drain.
+        cc.on_ack(&ack(now + 10, 100.0, 50, 1_000));
+        assert_eq!(cc.sfs[0].phase, Phase::ProbeBw);
+    }
+
+    #[test]
+    fn pacing_rate_tracks_bottleneck() {
+        let mut cc = Bbr::new();
+        cc.init_subflow(0, SimTime::ZERO);
+        let mut now = 0;
+        for _ in 0..300 {
+            now += 10;
+            cc.on_ack(&ack(now, 50.0, 40, 1_000));
+        }
+        let rate = cc.pacing_rate(0).unwrap();
+        // In ProbeBW the gain is within [0.75, 1.25] of 50 Mbps.
+        assert!(
+            (35.0..65.0).contains(&rate.mbps()),
+            "pacing {rate:?} in phase {:?}",
+            cc.sfs[0].phase
+        );
+    }
+
+    #[test]
+    fn max_bw_filter_expires_old_samples() {
+        let mut f = MaxBwFilter::default();
+        f.update(0, Rate::from_mbps(100.0));
+        f.update(1, Rate::from_mbps(10.0));
+        assert_eq!(f.get(), Rate::from_mbps(100.0));
+        // 11 rounds later the 100 Mbps sample is gone.
+        f.update(11, Rate::from_mbps(10.0));
+        assert_eq!(f.get(), Rate::from_mbps(10.0));
+    }
+
+    #[test]
+    fn loss_is_ignored() {
+        let mut cc = Bbr::new();
+        cc.init_subflow(0, SimTime::ZERO);
+        cc.on_ack(&ack(10, 100.0, 50, 1000));
+        let before = cc.cwnd_bytes(0, SimDuration::from_millis(50));
+        cc.on_loss(&mpcc_transport::LossInfo {
+            subflow: 0,
+            now: SimTime::from_millis(20),
+            lost_packets: 10,
+            inflight_bytes: 1000,
+        });
+        assert_eq!(cc.cwnd_bytes(0, SimDuration::from_millis(50)), before);
+    }
+}

@@ -1,0 +1,134 @@
+//! Shared scaffolding for the coupled MPTCP window algorithms
+//! (LIA, OLIA, Balia): per-subflow windows that grow in a coupled manner in
+//! congestion avoidance and halve independently on loss.
+
+use crate::window::WinState;
+use mpcc_simcore::{Rate, SimDuration, SimTime};
+use mpcc_transport::{AckInfo, LossInfo, MultipathCc};
+
+/// The coupled congestion-avoidance increase rule of one MPTCP variant:
+/// returns the window increment (in packets) for one ACK of
+/// `info.acked_packets` packets on subflow `info.subflow`.
+pub trait CoupledIncrease: Send + 'static {
+    /// Protocol name.
+    fn name(&self) -> &'static str;
+    /// The congestion-avoidance increment for this ACK.
+    fn increase(&mut self, wins: &[WinState], info: &AckInfo) -> f64;
+    /// The multiplicative decrease on a loss event (default: halve).
+    fn decrease(&mut self, wins: &mut [WinState], info: &LossInfo) {
+        wins[info.subflow].md(0.5);
+    }
+    /// Hook for algorithms that track loss history (OLIA).
+    fn note_loss(&mut self, _subflow: usize, _delivered_bytes: u64) {}
+}
+
+/// A coupled MPTCP controller parameterized by its increase rule.
+pub struct Coupled<A> {
+    algo: A,
+    wins: Vec<WinState>,
+}
+
+impl<A: CoupledIncrease> Coupled<A> {
+    /// Wraps an increase rule.
+    pub fn new(algo: A) -> Self {
+        Coupled {
+            algo,
+            wins: Vec::new(),
+        }
+    }
+
+    /// The window state of subflow `i`.
+    pub fn window(&self, i: usize) -> &WinState {
+        &self.wins[i]
+    }
+
+    /// Mutable window state (tests).
+    pub fn window_mut(&mut self, i: usize) -> &mut WinState {
+        &mut self.wins[i]
+    }
+
+    /// The underlying algorithm.
+    pub fn algo(&self) -> &A {
+        &self.algo
+    }
+
+    /// Mutable access to the algorithm (tests and diagnostics).
+    pub fn algo_mut(&mut self) -> &mut A {
+        &mut self.algo
+    }
+}
+
+impl<A: CoupledIncrease> MultipathCc for Coupled<A> {
+    fn name(&self) -> &'static str {
+        self.algo.name()
+    }
+
+    fn init_subflow(&mut self, subflow: usize, _now: SimTime) {
+        while self.wins.len() <= subflow {
+            self.wins.push(WinState::new());
+        }
+    }
+
+    fn on_ack(&mut self, info: &AckInfo) {
+        let win = &mut self.wins[info.subflow];
+        win.observe(info.srtt, info.min_rtt, info.acked_bytes);
+        if win.in_slow_start() {
+            win.slow_start(info.acked_packets);
+            return;
+        }
+        let inc = self.algo.increase(&self.wins, info);
+        let win = &mut self.wins[info.subflow];
+        win.cwnd = (win.cwnd + inc).max(crate::window::MIN_CWND);
+    }
+
+    fn on_loss(&mut self, info: &LossInfo) {
+        let delivered = self.wins[info.subflow].delivered_bytes;
+        self.algo.note_loss(info.subflow, delivered);
+        self.algo.decrease(&mut self.wins, info);
+    }
+
+    fn on_rto(&mut self, subflow: usize, _now: SimTime) {
+        let delivered = self.wins[subflow].delivered_bytes;
+        self.algo.note_loss(subflow, delivered);
+        self.wins[subflow].rto_collapse();
+    }
+
+    fn cwnd_bytes(&self, subflow: usize, _srtt: SimDuration) -> u64 {
+        self.wins[subflow].cwnd_bytes()
+    }
+
+    fn pacing_rate(&self, _subflow: usize) -> Option<Rate> {
+        None
+    }
+
+    fn is_rate_based(&self) -> bool {
+        false
+    }
+}
+
+/// Builds a test ACK (shared by the coupled-algorithm unit tests).
+#[cfg(test)]
+pub fn test_ack(subflow: usize, packets: u64, srtt_ms: u64) -> AckInfo {
+    AckInfo {
+        subflow,
+        now: SimTime::ZERO,
+        acked_packets: packets,
+        acked_bytes: packets * 1448,
+        rtt: SimDuration::from_millis(srtt_ms),
+        srtt: SimDuration::from_millis(srtt_ms),
+        min_rtt: SimDuration::from_millis(srtt_ms),
+        bw_sample: Rate::from_mbps(10.0),
+        inflight_bytes: 0,
+    }
+}
+
+/// Builds a test loss event.
+#[cfg(test)]
+pub fn test_loss(subflow: usize) -> LossInfo {
+    LossInfo {
+        subflow,
+        now: SimTime::ZERO,
+        lost_packets: 1,
+        inflight_bytes: 0,
+    }
+}

@@ -1,0 +1,214 @@
+//! MPCUBIC (Le, Hong, Lee 2011): Cubic extended to the multipath context,
+//! listed among the MPTCP variants in the paper's related work (§8).
+//!
+//! Each subflow grows along a Cubic curve, but the curve's scaling constant
+//! is divided by the number of active subflows raised to the coupling
+//! exponent — so a d-subflow MPCUBIC connection grows, in aggregate, like
+//! roughly one Cubic connection on its best path, mirroring LIA's coupling
+//! for the high-BDP regime.
+
+use crate::window::{WinState, MIN_CWND};
+use mpcc_simcore::{Rate, SimDuration, SimTime};
+use mpcc_transport::{AckInfo, LossInfo, MultipathCc};
+
+/// Cubic scaling constant of a single-path flow.
+const C: f64 = 0.4;
+/// Multiplicative decrease factor.
+const BETA: f64 = 0.7;
+/// Coupling exponent: C_subflow = C / d^COUPLING. The MPCUBIC paper
+/// derives 3 (full coupling of the cubic term); we follow that.
+const COUPLING: f64 = 3.0;
+
+struct CubicSf {
+    win: WinState,
+    w_max: f64,
+    epoch_start: Option<SimTime>,
+    k: f64,
+}
+
+impl CubicSf {
+    fn new() -> Self {
+        CubicSf {
+            win: WinState::new(),
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+        }
+    }
+}
+
+/// The MPCUBIC multipath controller.
+pub struct MpCubic {
+    sfs: Vec<CubicSf>,
+}
+
+impl MpCubic {
+    /// A fresh controller.
+    pub fn new() -> Self {
+        MpCubic { sfs: Vec::new() }
+    }
+
+    /// The window state of subflow `i` (tests/diagnostics).
+    pub fn window(&self, i: usize) -> &WinState {
+        &self.sfs[i].win
+    }
+
+    fn scaled_c(&self) -> f64 {
+        let d = self.sfs.len().max(1) as f64;
+        C / d.powf(COUPLING).max(1.0).min(64.0)
+    }
+}
+
+impl Default for MpCubic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MultipathCc for MpCubic {
+    fn name(&self) -> &'static str {
+        "mpcubic"
+    }
+
+    fn init_subflow(&mut self, subflow: usize, _now: SimTime) {
+        while self.sfs.len() <= subflow {
+            self.sfs.push(CubicSf::new());
+        }
+    }
+
+    fn on_ack(&mut self, info: &AckInfo) {
+        let c_scaled = self.scaled_c();
+        let sf = &mut self.sfs[info.subflow];
+        sf.win.observe(info.srtt, info.min_rtt, info.acked_bytes);
+        if sf.win.in_slow_start() {
+            sf.win.slow_start(info.acked_packets);
+            return;
+        }
+        if sf.epoch_start.is_none() {
+            sf.epoch_start = Some(info.now);
+            if sf.win.cwnd < sf.w_max {
+                sf.k = ((sf.w_max - sf.win.cwnd) / c_scaled).cbrt();
+            } else {
+                sf.k = 0.0;
+                sf.w_max = sf.win.cwnd;
+            }
+        }
+        let t = info
+            .now
+            .saturating_since(sf.epoch_start.expect("set above"))
+            .as_secs_f64();
+        let rtt = sf.win.rtt_secs();
+        let dt = t + rtt - sf.k;
+        let target = c_scaled * dt * dt * dt + sf.w_max;
+        let n = info.acked_packets as f64;
+        if target > sf.win.cwnd {
+            sf.win.cwnd += n * (target - sf.win.cwnd) / sf.win.cwnd;
+        } else {
+            sf.win.cwnd += n * 0.01 / sf.win.cwnd;
+        }
+    }
+
+    fn on_loss(&mut self, info: &LossInfo) {
+        let sf = &mut self.sfs[info.subflow];
+        sf.w_max = sf.win.cwnd;
+        sf.win.loss_events += 1;
+        sf.win.ssthresh = (sf.win.cwnd * BETA).max(MIN_CWND);
+        sf.win.cwnd = sf.win.ssthresh;
+        sf.epoch_start = None;
+    }
+
+    fn on_rto(&mut self, subflow: usize, _now: SimTime) {
+        let sf = &mut self.sfs[subflow];
+        sf.w_max = sf.win.cwnd;
+        sf.win.rto_collapse();
+        sf.epoch_start = None;
+    }
+
+    fn cwnd_bytes(&self, subflow: usize, _srtt: SimDuration) -> u64 {
+        self.sfs[subflow].win.cwnd_bytes()
+    }
+
+    fn pacing_rate(&self, _subflow: usize) -> Option<Rate> {
+        None
+    }
+
+    fn is_rate_based(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack_at(now_ms: u64, subflow: usize, packets: u64) -> AckInfo {
+        AckInfo {
+            subflow,
+            now: SimTime::from_millis(now_ms),
+            acked_packets: packets,
+            acked_bytes: packets * 1448,
+            rtt: SimDuration::from_millis(50),
+            srtt: SimDuration::from_millis(50),
+            min_rtt: SimDuration::from_millis(50),
+            bw_sample: Rate::from_mbps(10.0),
+            inflight_bytes: 0,
+        }
+    }
+
+    fn loss(subflow: usize) -> LossInfo {
+        LossInfo {
+            subflow,
+            now: SimTime::ZERO,
+            lost_packets: 1,
+            inflight_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn single_subflow_behaves_like_cubic() {
+        let mut cc = MpCubic::new();
+        cc.init_subflow(0, SimTime::ZERO);
+        assert!((cc.scaled_c() - C).abs() < 1e-12);
+        cc.on_ack(&ack_at(0, 0, 90)); // slow start to 100
+        cc.on_loss(&loss(0));
+        assert!((cc.window(0).cwnd - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coupling_slows_growth_with_more_subflows() {
+        let grow = |d: usize| -> f64 {
+            let mut cc = MpCubic::new();
+            for sf in 0..d {
+                cc.init_subflow(sf, SimTime::ZERO);
+                cc.on_ack(&ack_at(0, sf, 90));
+                cc.on_loss(&loss(sf));
+            }
+            let before = cc.window(0).cwnd;
+            for ms in 1..=2000u64 {
+                if ms % 50 == 0 {
+                    cc.on_ack(&ack_at(ms, 0, 10));
+                }
+            }
+            cc.window(0).cwnd - before
+        };
+        let single = grow(1);
+        let triple = grow(3);
+        assert!(
+            triple < single,
+            "coupled growth {triple} must trail single-path {single}"
+        );
+    }
+
+    #[test]
+    fn loss_only_affects_the_lossy_subflow() {
+        let mut cc = MpCubic::new();
+        cc.init_subflow(0, SimTime::ZERO);
+        cc.init_subflow(1, SimTime::ZERO);
+        cc.on_ack(&ack_at(0, 0, 40));
+        cc.on_ack(&ack_at(0, 1, 40));
+        let w1 = cc.window(1).cwnd;
+        cc.on_loss(&loss(0));
+        assert!(cc.window(0).cwnd < 50.0);
+        assert_eq!(cc.window(1).cwnd, w1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Running an independent single-path controller on every subflow.
+//!
+//! This is the strawman the paper evaluates as "reno" and "cubic" (and
+//! "bbr", which has its own module): each subflow behaves exactly like an
+//! independent single-path connection, which violates the multipath
+//! fairness goal (3) of §2 when subflows share a bottleneck.
+
+use crate::window::WinState;
+use mpcc_simcore::{Rate, SimDuration, SimTime};
+use mpcc_transport::{AckInfo, LossInfo, MultipathCc};
+
+/// The per-subflow behaviour an uncoupled window controller supplies.
+pub trait SinglePathCc: Send + 'static {
+    /// Protocol name.
+    fn name(&self) -> &'static str;
+    /// Window growth on an ACK; `win` carries the shared state.
+    fn on_ack(&mut self, win: &mut WinState, info: &AckInfo);
+    /// Reaction to a loss event (default: halve).
+    fn on_loss(&mut self, win: &mut WinState, _info: &LossInfo) {
+        win.md(0.5);
+    }
+    /// Reaction to a timeout (default: collapse to one packet).
+    fn on_rto(&mut self, win: &mut WinState, _now: SimTime) {
+        win.rto_collapse();
+    }
+}
+
+/// Wraps a [`SinglePathCc`] into an uncoupled multipath controller.
+pub struct Uncoupled<T> {
+    name: &'static str,
+    subflows: Vec<(T, WinState)>,
+    make: fn() -> T,
+}
+
+impl<T: SinglePathCc> Uncoupled<T> {
+    /// Creates the wrapper; `make` constructs one controller per subflow.
+    pub fn new(name: &'static str, make: fn() -> T) -> Self {
+        Uncoupled {
+            name,
+            subflows: Vec::new(),
+            make,
+        }
+    }
+
+    /// The window state of subflow `i`, for tests and diagnostics.
+    pub fn window(&self, i: usize) -> &WinState {
+        &self.subflows[i].1
+    }
+}
+
+impl<T: SinglePathCc> MultipathCc for Uncoupled<T> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn init_subflow(&mut self, subflow: usize, _now: SimTime) {
+        while self.subflows.len() <= subflow {
+            self.subflows.push(((self.make)(), WinState::new()));
+        }
+    }
+
+    fn on_ack(&mut self, info: &AckInfo) {
+        let (cc, win) = &mut self.subflows[info.subflow];
+        win.observe(info.srtt, info.min_rtt, info.acked_bytes);
+        cc.on_ack(win, info);
+    }
+
+    fn on_loss(&mut self, info: &LossInfo) {
+        let (cc, win) = &mut self.subflows[info.subflow];
+        cc.on_loss(win, info);
+    }
+
+    fn on_rto(&mut self, subflow: usize, now: SimTime) {
+        let (cc, win) = &mut self.subflows[subflow];
+        cc.on_rto(win, now);
+    }
+
+    fn cwnd_bytes(&self, subflow: usize, _srtt: SimDuration) -> u64 {
+        self.subflows[subflow].1.cwnd_bytes()
+    }
+
+    fn pacing_rate(&self, _subflow: usize) -> Option<Rate> {
+        None
+    }
+
+    fn is_rate_based(&self) -> bool {
+        false
+    }
+}

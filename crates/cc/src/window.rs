@@ -1,0 +1,153 @@
+//! Shared window bookkeeping for the TCP/MPTCP window-based family.
+//!
+//! Windows are kept in floating-point *packets* (MSS units), as the coupled
+//! MPTCP increase rules are defined on packet-counted windows; the transport
+//! consumes them in bytes.
+
+use mpcc_simcore::SimDuration;
+
+/// Payload bytes per window unit (one MSS).
+pub const MSS: f64 = 1448.0;
+/// Minimum congestion window, packets.
+pub const MIN_CWND: f64 = 2.0;
+/// Initial congestion window, packets (RFC 6928).
+pub const INIT_CWND: f64 = 10.0;
+
+/// Per-subflow window state shared by every window-based controller.
+#[derive(Clone, Debug)]
+pub struct WinState {
+    /// Congestion window, packets.
+    pub cwnd: f64,
+    /// Slow-start threshold, packets.
+    pub ssthresh: f64,
+    /// Latest smoothed RTT reported by the transport.
+    pub srtt: SimDuration,
+    /// Latest windowed-minimum RTT.
+    pub min_rtt: SimDuration,
+    /// Cumulative payload bytes acknowledged.
+    pub delivered_bytes: u64,
+    /// Cumulative loss events.
+    pub loss_events: u64,
+}
+
+impl Default for WinState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WinState {
+    /// Fresh state at the initial window.
+    pub fn new() -> Self {
+        WinState {
+            cwnd: INIT_CWND,
+            ssthresh: f64::MAX,
+            srtt: SimDuration::from_millis(100),
+            min_rtt: SimDuration::from_millis(100),
+            delivered_bytes: 0,
+            loss_events: 0,
+        }
+    }
+
+    /// `true` while below the slow-start threshold.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// Records RTT observations from an ACK.
+    pub fn observe(&mut self, srtt: SimDuration, min_rtt: SimDuration, acked_bytes: u64) {
+        self.srtt = srtt;
+        self.min_rtt = min_rtt;
+        self.delivered_bytes += acked_bytes;
+    }
+
+    /// Standard slow-start growth: one packet per acked packet.
+    pub fn slow_start(&mut self, acked_packets: u64) {
+        self.cwnd += acked_packets as f64;
+    }
+
+    /// Multiplicative decrease to `factor × cwnd` (Reno uses 0.5).
+    pub fn md(&mut self, factor: f64) {
+        self.loss_events += 1;
+        self.ssthresh = (self.cwnd * factor).max(MIN_CWND);
+        self.cwnd = self.ssthresh;
+    }
+
+    /// Timeout collapse: window to one packet, half threshold.
+    pub fn rto_collapse(&mut self) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND);
+        self.cwnd = 1.0;
+    }
+
+    /// The window in bytes for the transport.
+    pub fn cwnd_bytes(&self) -> u64 {
+        (self.cwnd.max(1.0) * MSS) as u64
+    }
+
+    /// Window in packets per second (the `x_i = w_i / rtt_i` of the Balia
+    /// and LIA formulas), guarding against a zero RTT.
+    pub fn pkts_per_sec(&self) -> f64 {
+        let rtt = self.srtt.as_secs_f64();
+        if rtt <= 0.0 {
+            0.0
+        } else {
+            self.cwnd / rtt
+        }
+    }
+
+    /// RTT in seconds, floored away from zero.
+    pub fn rtt_secs(&self) -> f64 {
+        self.srtt.as_secs_f64().max(1e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut w = WinState::new();
+        assert!(w.in_slow_start());
+        // One window of ACKs doubles the window.
+        w.slow_start(INIT_CWND as u64);
+        assert_eq!(w.cwnd, 2.0 * INIT_CWND);
+    }
+
+    #[test]
+    fn md_halves_and_sets_ssthresh() {
+        let mut w = WinState::new();
+        w.cwnd = 100.0;
+        w.md(0.5);
+        assert_eq!(w.cwnd, 50.0);
+        assert_eq!(w.ssthresh, 50.0);
+        assert!(!w.in_slow_start());
+        assert_eq!(w.loss_events, 1);
+    }
+
+    #[test]
+    fn md_floors_at_min_cwnd() {
+        let mut w = WinState::new();
+        w.cwnd = 2.5;
+        w.md(0.5);
+        assert_eq!(w.cwnd, MIN_CWND);
+    }
+
+    #[test]
+    fn rto_collapse_to_one() {
+        let mut w = WinState::new();
+        w.cwnd = 64.0;
+        w.rto_collapse();
+        assert_eq!(w.cwnd, 1.0);
+        assert_eq!(w.ssthresh, 32.0);
+        assert_eq!(w.cwnd_bytes(), MSS as u64);
+    }
+
+    #[test]
+    fn pkts_per_sec() {
+        let mut w = WinState::new();
+        w.cwnd = 50.0;
+        w.srtt = SimDuration::from_millis(100);
+        assert!((w.pkts_per_sec() - 500.0).abs() < 1e-9);
+    }
+}

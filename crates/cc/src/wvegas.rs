@@ -1,0 +1,227 @@
+//! wVegas — weighted Vegas (Cao, Xu, Fu 2012): the delay-based MPTCP
+//! variant the paper evaluates.
+//!
+//! Each subflow runs Vegas against a *weighted* backlog target: the
+//! connection-wide target `TOTAL_ALPHA` packets of queueing is split among
+//! subflows in proportion to their share of the aggregate rate, so subflows
+//! on congested paths (small achievable rate) are assigned small targets and
+//! back off, shifting traffic to less congested paths.
+//!
+//! Once per RTT, with `diff_i = w_i · (1 − baseRTT_i / rtt_i)`:
+//! `diff_i < α_i` → `w_i += 1`; `diff_i > α_i` → `w_i −= 1`.
+
+use mpcc_simcore::{Rate, SimDuration, SimTime};
+use mpcc_transport::{AckInfo, LossInfo, MultipathCc};
+
+use crate::window::{WinState, MIN_CWND};
+
+/// Connection-wide queueing target, packets.
+const TOTAL_ALPHA: f64 = 10.0;
+/// A subflow's target never drops below this (keeps it probing).
+const MIN_ALPHA: f64 = 2.0;
+
+struct VegasSf {
+    win: WinState,
+    /// Smallest RTT ever seen: the propagation-delay estimate.
+    base_rtt: SimDuration,
+    /// Next time the once-per-RTT adjustment runs.
+    next_adjust: SimTime,
+}
+
+/// The wVegas multipath controller.
+pub struct WVegas {
+    sfs: Vec<VegasSf>,
+}
+
+impl WVegas {
+    /// A fresh controller.
+    pub fn new() -> Self {
+        WVegas { sfs: Vec::new() }
+    }
+
+    /// The window state of subflow `i` (tests/diagnostics).
+    pub fn window(&self, i: usize) -> &WinState {
+        &self.sfs[i].win
+    }
+
+    /// Subflow `i`'s current backlog target α_i.
+    pub fn alpha(&self, i: usize) -> f64 {
+        let total_rate: f64 = self.sfs.iter().map(|s| s.win.pkts_per_sec()).sum();
+        if total_rate <= 0.0 {
+            return TOTAL_ALPHA / self.sfs.len().max(1) as f64;
+        }
+        let weight = self.sfs[i].win.pkts_per_sec() / total_rate;
+        (TOTAL_ALPHA * weight).max(MIN_ALPHA)
+    }
+}
+
+impl Default for WVegas {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MultipathCc for WVegas {
+    fn name(&self) -> &'static str {
+        "wvegas"
+    }
+
+    fn init_subflow(&mut self, subflow: usize, now: SimTime) {
+        while self.sfs.len() <= subflow {
+            self.sfs.push(VegasSf {
+                win: WinState::new(),
+                base_rtt: SimDuration::MAX,
+                next_adjust: now,
+            });
+        }
+    }
+
+    fn on_ack(&mut self, info: &AckInfo) {
+        let alpha = {
+            // Compute before borrowing the subflow mutably.
+            self.init_guard(info.subflow);
+            self.alpha(info.subflow)
+        };
+        let sf = &mut self.sfs[info.subflow];
+        sf.win.observe(info.srtt, info.min_rtt, info.acked_bytes);
+        if info.rtt < sf.base_rtt {
+            sf.base_rtt = info.rtt;
+        }
+        if info.now < sf.next_adjust {
+            return;
+        }
+        sf.next_adjust = info.now + info.srtt;
+        let rtt = sf.win.rtt_secs();
+        let base = sf.base_rtt.as_secs_f64().min(rtt);
+        let diff = sf.win.cwnd * (1.0 - base / rtt);
+        if sf.win.in_slow_start() {
+            // Vegas leaves slow start as soon as queueing builds.
+            if diff > alpha {
+                sf.win.cwnd = (sf.win.cwnd * 0.75).max(MIN_CWND);
+                sf.win.ssthresh = sf.win.cwnd;
+            } else {
+                sf.win.cwnd *= 2.0;
+            }
+            return;
+        }
+        if diff < alpha {
+            sf.win.cwnd += 1.0;
+        } else if diff > alpha {
+            sf.win.cwnd = (sf.win.cwnd - 1.0).max(MIN_CWND);
+        }
+    }
+
+    fn on_loss(&mut self, info: &LossInfo) {
+        // Vegas treats loss as a strong congestion signal.
+        self.sfs[info.subflow].win.md(0.5);
+    }
+
+    fn on_rto(&mut self, subflow: usize, _now: SimTime) {
+        self.sfs[subflow].win.rto_collapse();
+    }
+
+    fn cwnd_bytes(&self, subflow: usize, _srtt: SimDuration) -> u64 {
+        self.sfs[subflow].win.cwnd_bytes()
+    }
+
+    fn pacing_rate(&self, _subflow: usize) -> Option<Rate> {
+        None
+    }
+
+    fn is_rate_based(&self) -> bool {
+        false
+    }
+}
+
+impl WVegas {
+    fn init_guard(&mut self, subflow: usize) {
+        if subflow >= self.sfs.len() {
+            self.init_subflow(subflow, SimTime::ZERO);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(subflow: usize, now_ms: u64, rtt_ms: u64, srtt_ms: u64) -> AckInfo {
+        AckInfo {
+            subflow,
+            now: SimTime::from_millis(now_ms),
+            acked_packets: 1,
+            acked_bytes: 1448,
+            rtt: SimDuration::from_millis(rtt_ms),
+            srtt: SimDuration::from_millis(srtt_ms),
+            min_rtt: SimDuration::from_millis(rtt_ms),
+            bw_sample: Rate::from_mbps(10.0),
+            inflight_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn grows_when_below_target_backlog() {
+        let mut cc = WVegas::new();
+        cc.init_subflow(0, SimTime::ZERO);
+        cc.sfs[0].win.ssthresh = 1.0; // force congestion avoidance
+        // RTT equals base RTT: zero backlog, below alpha → +1.
+        cc.on_ack(&ack(0, 0, 50, 50));
+        let w0 = cc.window(0).cwnd;
+        cc.on_ack(&ack(0, 100, 50, 50));
+        assert_eq!(cc.window(0).cwnd, w0 + 1.0);
+    }
+
+    #[test]
+    fn shrinks_when_queueing_exceeds_target() {
+        let mut cc = WVegas::new();
+        cc.init_subflow(0, SimTime::ZERO);
+        cc.sfs[0].win.ssthresh = 1.0;
+        cc.sfs[0].win.cwnd = 50.0;
+        // Establish base RTT = 50 ms.
+        cc.on_ack(&ack(0, 0, 50, 50));
+        // Now RTT doubles: diff = 50·(1−50/100) = 25 > alpha → −1.
+        let w = cc.window(0).cwnd;
+        cc.on_ack(&ack(0, 200, 100, 100));
+        assert_eq!(cc.window(0).cwnd, w - 1.0);
+    }
+
+    #[test]
+    fn adjustment_happens_once_per_rtt() {
+        let mut cc = WVegas::new();
+        cc.init_subflow(0, SimTime::ZERO);
+        cc.sfs[0].win.ssthresh = 1.0;
+        cc.on_ack(&ack(0, 0, 50, 50));
+        let w = cc.window(0).cwnd;
+        // Within the same RTT, further ACKs do not adjust.
+        cc.on_ack(&ack(0, 10, 50, 50));
+        cc.on_ack(&ack(0, 20, 50, 50));
+        assert_eq!(cc.window(0).cwnd, w);
+    }
+
+    #[test]
+    fn weights_split_total_alpha() {
+        let mut cc = WVegas::new();
+        cc.init_subflow(0, SimTime::ZERO);
+        cc.init_subflow(1, SimTime::ZERO);
+        cc.sfs[0].win.cwnd = 30.0;
+        cc.sfs[1].win.cwnd = 10.0;
+        cc.sfs[0].win.srtt = SimDuration::from_millis(50);
+        cc.sfs[1].win.srtt = SimDuration::from_millis(50);
+        let a0 = cc.alpha(0);
+        let a1 = cc.alpha(1);
+        assert!((a0 - 7.5).abs() < 1e-9, "{a0}");
+        assert!((a1 - 2.5).abs() < 1e-9, "{a1}");
+    }
+
+    #[test]
+    fn slow_start_exits_on_queueing() {
+        let mut cc = WVegas::new();
+        cc.init_subflow(0, SimTime::ZERO);
+        cc.sfs[0].win.cwnd = 64.0;
+        cc.on_ack(&ack(0, 0, 50, 50)); // base 50ms
+        assert!(cc.window(0).in_slow_start());
+        // Big queueing: exit slow start.
+        cc.on_ack(&ack(0, 200, 150, 150));
+        assert!(!cc.window(0).in_slow_start());
+    }
+}

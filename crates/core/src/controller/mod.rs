@@ -1,0 +1,271 @@
+//! The MPCC congestion controller: per-subflow online learning coupled
+//! through rate-publication points (§5 of the paper).
+
+pub mod state;
+
+use crate::utility::UtilityParams;
+use mpcc_netsim::MSS_PAYLOAD;
+use mpcc_simcore::{Rate, SimDuration, SimRng, SimTime};
+use mpcc_transport::{MiReport, MultipathCc};
+use state::{MiOutcome, StateConfig, SubflowCtl};
+
+/// Configuration of an MPCC connection.
+#[derive(Clone, Copy, Debug)]
+pub struct MpccConfig {
+    /// The per-subflow state-machine tunables (utility coefficients, probe
+    /// amplitude, step sizes...).
+    pub state: StateConfig,
+    /// Inflight cap multiplier: cwnd = `cwnd_gain × rate × srtt`. Rate-based
+    /// senders keep the window deliberately high (§6); this only bounds
+    /// damage during blackouts.
+    pub cwnd_gain: f64,
+    /// Seed for the controller's private randomness (probe ordering, MI
+    /// jitter).
+    pub seed: u64,
+}
+
+impl Default for MpccConfig {
+    fn default() -> Self {
+        MpccConfig {
+            state: StateConfig::default(),
+            cwnd_gain: 2.0,
+            seed: 7,
+        }
+    }
+}
+
+impl MpccConfig {
+    /// MPCC-loss (γ = 0), the paper's default.
+    pub fn loss() -> Self {
+        MpccConfig::default()
+    }
+
+    /// MPCC-latency (γ = 1).
+    pub fn latency() -> Self {
+        MpccConfig {
+            state: StateConfig {
+                utility: UtilityParams::mpcc_latency(),
+                ..StateConfig::default()
+            },
+            ..MpccConfig::default()
+        }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The MPCC multipath congestion controller.
+///
+/// With a single subflow this is exactly PCC Vivace (the paper's Remark in
+/// §4.1): use [`Mpcc::vivace`].
+pub struct Mpcc {
+    cfg: MpccConfig,
+    name: &'static str,
+    subflows: Vec<SubflowCtl>,
+    /// Rate-publication board: `published[j]` is subflow j's most recently
+    /// published rate (Mbps), written at each of its MI starts.
+    published: Vec<f64>,
+    rng: SimRng,
+}
+
+impl Mpcc {
+    /// Creates an MPCC controller.
+    pub fn new(cfg: MpccConfig) -> Self {
+        let name = if cfg.state.utility.gamma > 0.0 {
+            "mpcc-latency"
+        } else {
+            "mpcc-loss"
+        };
+        Mpcc {
+            name,
+            subflows: Vec::new(),
+            published: Vec::new(),
+            rng: SimRng::seed_from_u64(cfg.seed),
+            cfg,
+        }
+    }
+
+    /// Single-path MPCC = PCC Vivace (run it on a 1-path connection).
+    pub fn vivace(seed: u64) -> Self {
+        let mut mpcc = Mpcc::new(MpccConfig::loss().with_seed(seed));
+        mpcc.name = "vivace";
+        mpcc
+    }
+
+    /// Latency-sensitive single-path Vivace.
+    pub fn vivace_latency(seed: u64) -> Self {
+        let mut mpcc = Mpcc::new(MpccConfig::latency().with_seed(seed));
+        mpcc.name = "vivace-latency";
+        mpcc
+    }
+
+    /// The published rate of subflow `j` (Mbps).
+    pub fn published_rate(&self, j: usize) -> f64 {
+        self.published.get(j).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of all published rates (Mbps).
+    pub fn total_published(&self) -> f64 {
+        self.published.iter().sum()
+    }
+
+    /// The per-subflow controller (diagnostics/tests).
+    pub fn subflow_ctl(&self, j: usize) -> &SubflowCtl {
+        &self.subflows[j]
+    }
+}
+
+impl MultipathCc for Mpcc {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn init_subflow(&mut self, subflow: usize, _now: SimTime) {
+        while self.subflows.len() <= subflow {
+            self.subflows.push(SubflowCtl::new(self.cfg.state));
+            self.published.push(self.cfg.state.initial_rate);
+        }
+    }
+
+    fn uses_mi(&self) -> bool {
+        true
+    }
+
+    fn mi_duration(
+        &mut self,
+        _subflow: usize,
+        srtt: SimDuration,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        // One RTT with jitter, floored at 1 ms: low enough that data-center
+        // RTTs still get frequent decisions, high enough for meaningful
+        // per-MI statistics.
+        let base = srtt.max(SimDuration::from_millis(1));
+        base.mul_f64(rng.range_f64(1.0, 1.1))
+    }
+
+    fn begin_mi(&mut self, subflow: usize, _now: SimTime) -> Rate {
+        let others: f64 = self
+            .published
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != subflow)
+            .map(|(_, r)| r)
+            .sum();
+        let total = others + self.published[subflow];
+        let issued = self.subflows[subflow].next_mi(others, total, &mut self.rng);
+        // Rate-publication point: the chosen rate becomes visible to the
+        // other subflows' future utility computations.
+        self.published[subflow] = issued.rate;
+        Rate::from_mbps(issued.rate)
+    }
+
+    fn on_mi_complete(&mut self, report: &MiReport) {
+        let achieved = if report.duration.is_zero() {
+            0.0
+        } else {
+            report.sent_packets as f64 * MSS_PAYLOAD as f64 * 8.0
+                / report.duration.as_secs_f64()
+                / 1e6
+        };
+        let outcome = MiOutcome {
+            achieved,
+            loss: report.loss_rate,
+            lat_gradient: report.latency_gradient,
+            app_limited: report.app_limited || report.sent_packets == 0,
+        };
+        let total = self.total_published();
+        self.subflows[report.subflow].on_report(outcome, total, &mut self.rng);
+    }
+
+    fn on_rto(&mut self, subflow: usize, _now: SimTime) {
+        let total = self.total_published();
+        self.subflows[subflow].on_rto(total, &mut self.rng);
+        self.published[subflow] = self.subflows[subflow].rate();
+    }
+
+    fn cwnd_bytes(&self, subflow: usize, srtt: SimDuration) -> u64 {
+        let rate = Rate::from_mbps(self.subflows[subflow].rate());
+        let bdp = rate.bytes_in(srtt.max(SimDuration::from_millis(2)));
+        ((bdp * self.cfg.cwnd_gain) as u64).max(10 * MSS_PAYLOAD)
+    }
+
+    fn pacing_rate(&self, subflow: usize) -> Option<Rate> {
+        Some(Rate::from_mbps(self.subflows[subflow].rate()))
+    }
+
+    fn is_rate_based(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcc_simcore::SimTime;
+
+    #[test]
+    fn publication_board_updates_at_mi_start() {
+        let mut cc = Mpcc::new(MpccConfig::loss());
+        cc.init_subflow(0, SimTime::ZERO);
+        cc.init_subflow(1, SimTime::ZERO);
+        let r0 = cc.begin_mi(0, SimTime::ZERO);
+        assert!((cc.published_rate(0) - r0.mbps()).abs() < 1e-9);
+        // Subflow 1 still at its initial published rate.
+        assert!((cc.published_rate(1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn names_reflect_variant() {
+        assert_eq!(Mpcc::new(MpccConfig::loss()).name(), "mpcc-loss");
+        assert_eq!(Mpcc::new(MpccConfig::latency()).name(), "mpcc-latency");
+        assert_eq!(Mpcc::vivace(1).name(), "vivace");
+    }
+
+    #[test]
+    fn cwnd_scales_with_rate_and_rtt() {
+        let mut cc = Mpcc::new(MpccConfig::loss());
+        cc.init_subflow(0, SimTime::ZERO);
+        // 2 Mbps × 100 ms × gain 2 = 50 KB.
+        let cwnd = cc.cwnd_bytes(0, SimDuration::from_millis(100));
+        assert_eq!(cwnd, 50_000);
+        // Floors at 10 packets.
+        let tiny = cc.cwnd_bytes(0, SimDuration::from_micros(10));
+        assert_eq!(tiny, 10 * MSS_PAYLOAD);
+    }
+
+    #[test]
+    fn slow_start_visible_through_published_rates() {
+        let mut cc = Mpcc::new(MpccConfig::loss());
+        cc.init_subflow(0, SimTime::ZERO);
+        let mut rate_series = vec![];
+        for i in 0..10 {
+            let now = SimTime::from_millis(100 * (i + 1));
+            let r = cc.begin_mi(0, now);
+            rate_series.push(r.mbps());
+            // Perfect delivery: utility keeps rising, keep doubling.
+            cc.on_mi_complete(&MiReport {
+                subflow: 0,
+                rate: r,
+                start: now,
+                duration: SimDuration::from_millis(100),
+                completed_at: now + SimDuration::from_millis(100),
+                sent_packets: (r.bytes_in(SimDuration::from_millis(100)) / 1448.0) as u64,
+                acked_packets: 100,
+                lost_packets: 0,
+                acked_bytes: 144_800,
+                loss_rate: 0.0,
+                goodput: r,
+                latency_gradient: 0.0,
+                mean_rtt: SimDuration::from_millis(30),
+                app_limited: false,
+            });
+        }
+        let last = *rate_series.last().unwrap();
+        assert!(last > 100.0, "doubling every other MI: {rate_series:?}");
+    }
+}

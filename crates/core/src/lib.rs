@@ -1,0 +1,30 @@
+//! # mpcc
+//!
+//! The paper's primary contribution: **MPCC**, online-learning multipath
+//! congestion control (Gilad, Rozen-Schiff, Godfrey, Raiciu, Schapira —
+//! CoNEXT 2020).
+//!
+//! * [`utility`] — the connection-level (Eq. 1) and per-subflow (Eq. 2)
+//!   utility functions with the paper's parameters (α = 0.9, β = 11.35,
+//!   γ ∈ {0, 1} for MPCC-loss / MPCC-latency).
+//! * [`controller`] — the per-subflow online-learning rate controller
+//!   (slow-start / probing / moving with rate amplifier, change bound and
+//!   swing buffer) coupled through rate-publication points. [`Mpcc`] plugs
+//!   into `mpcc-transport` as a [`mpcc_transport::MultipathCc`]; with one
+//!   subflow it is exactly PCC Vivace.
+//! * [`connection_level`] — the §4 connection-level controller (the
+//!   "failed try"), kept for the ablation experiments.
+//! * [`theory`] — LMMF allocations via max-flow progressive filling,
+//!   fluid-model convergence (Theorem 5.2) and the Fig. 2 gradient field.
+
+#![warn(missing_docs)]
+
+pub mod connection_level;
+pub mod controller;
+pub mod theory;
+pub mod utility;
+
+pub use connection_level::ConnectionLevel;
+pub use controller::state::{MiOutcome, StateConfig, SubflowCtl};
+pub use controller::{Mpcc, MpccConfig};
+pub use utility::{connection_utility, subflow_utility, UtilityParams};

@@ -1,0 +1,267 @@
+//! Fluid-model gradient dynamics and equilibrium checks on parallel-link
+//! networks — the analytical companion to Theorems 4.1/5.1/5.2 and the
+//! generator of Fig. 2's gradient field.
+//!
+//! The fluid model replaces the packet-level transport with the standard
+//! bottleneck loss function `L_l = max(0, (S_l − c_l)/S_l)` on each link
+//! (`S_l` = aggregate offered load), and lets every subflow ascend the
+//! gradient of its per-subflow utility (Eq. 2). Theorems 5.1/5.2 say these
+//! dynamics converge to an LMMF equilibrium; the tests here verify exactly
+//! that against the max-flow LMMF oracle.
+
+use super::lmmf::{lmmf_allocation, ParallelNetSpec};
+use crate::utility::{subflow_utility, UtilityParams};
+
+/// A rate configuration: `rates[i][k]` is the rate of connection `i`'s
+/// k-th subflow (Mbps), aligned with `spec.conns[i]`.
+pub type RateConfig = Vec<Vec<f64>>;
+
+/// Aggregate offered load per link.
+pub fn link_loads(spec: &ParallelNetSpec, rates: &RateConfig) -> Vec<f64> {
+    let mut loads = vec![0.0; spec.capacities.len()];
+    for (conn, links) in spec.conns.iter().enumerate() {
+        for (k, &l) in links.iter().enumerate() {
+            loads[l] += rates[conn][k];
+        }
+    }
+    loads
+}
+
+/// Bottleneck loss rate of each link: `max(0, (S − c)/S)`.
+pub fn link_loss(spec: &ParallelNetSpec, rates: &RateConfig) -> Vec<f64> {
+    link_loads(spec, rates)
+        .iter()
+        .zip(&spec.capacities)
+        .map(|(&s, &c)| if s > c && s > 0.0 { (s - c) / s } else { 0.0 })
+        .collect()
+}
+
+/// The per-subflow utility (Eq. 2) of connection `conn`'s subflow `k`
+/// under the fluid loss model (γ term unused: the fluid model has no
+/// latency dynamics, matching the paper's proofs which treat the combined
+/// penalty uniformly).
+pub fn fluid_utility(
+    p: &UtilityParams,
+    spec: &ParallelNetSpec,
+    rates: &RateConfig,
+    conn: usize,
+    k: usize,
+) -> f64 {
+    let losses = link_loss(spec, rates);
+    let link = spec.conns[conn][k];
+    let x = rates[conn][k];
+    let others: f64 = rates[conn]
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| *j != k)
+        .map(|(_, r)| r)
+        .sum();
+    subflow_utility(p, x, others, losses[link], 0.0)
+}
+
+/// Numerical partial derivative of [`fluid_utility`] in the subflow's own
+/// rate (central difference; the loss of the shared link responds to the
+/// deviation, others' rates held fixed — exactly the decision problem each
+/// MPCC subflow solves).
+pub fn fluid_gradient(
+    p: &UtilityParams,
+    spec: &ParallelNetSpec,
+    rates: &RateConfig,
+    conn: usize,
+    k: usize,
+) -> f64 {
+    let h = 1e-4;
+    let mut up = rates.clone();
+    up[conn][k] += h;
+    let mut down = rates.clone();
+    down[conn][k] = (down[conn][k] - h).max(0.0);
+    let du = fluid_utility(p, spec, &up, conn, k);
+    let dd = fluid_utility(p, spec, &down, conn, k);
+    (du - dd) / (up[conn][k] - down[conn][k])
+}
+
+/// Runs projected gradient ascent from `start` for `iters` steps; the step
+/// size starts at `eta` and decays as 1/√t so the dynamics settle instead
+/// of orbiting the equilibrium (Zinkevich's online-gradient schedule).
+pub fn fluid_converge(
+    p: &UtilityParams,
+    spec: &ParallelNetSpec,
+    start: &RateConfig,
+    iters: usize,
+    eta: f64,
+) -> RateConfig {
+    let mut rates = start.clone();
+    for t in 0..iters {
+        let eta_t = eta / (1.0 + (t as f64 / 200.0)).sqrt();
+        let mut next = rates.clone();
+        for (conn, links) in spec.conns.iter().enumerate() {
+            for k in 0..links.len() {
+                let g = fluid_gradient(p, spec, &rates, conn, k);
+                next[conn][k] = (rates[conn][k] + eta_t * g).max(0.0);
+            }
+        }
+        rates = next;
+    }
+    rates
+}
+
+/// `true` if no subflow can improve its utility by a unilateral rate
+/// change of ±`delta` (a `delta`-approximate equilibrium).
+pub fn is_equilibrium(
+    p: &UtilityParams,
+    spec: &ParallelNetSpec,
+    rates: &RateConfig,
+    delta: f64,
+    tol: f64,
+) -> bool {
+    for (conn, links) in spec.conns.iter().enumerate() {
+        for k in 0..links.len() {
+            let base = fluid_utility(p, spec, rates, conn, k);
+            for dir in [-1.0, 1.0] {
+                let mut dev = rates.clone();
+                dev[conn][k] = (dev[conn][k] + dir * delta).max(0.0);
+                if fluid_utility(p, spec, &dev, conn, k) > base + tol {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Per-connection totals of a rate configuration.
+pub fn totals(rates: &RateConfig) -> Vec<f64> {
+    rates.iter().map(|r| r.iter().sum()).collect()
+}
+
+/// Checks a configuration's totals against the LMMF oracle within
+/// `tol` Mbps per connection.
+pub fn is_lmmf(spec: &ParallelNetSpec, rates: &RateConfig, tol: f64) -> bool {
+    let opt = lmmf_allocation(spec);
+    totals(rates)
+        .iter()
+        .zip(&opt)
+        .all(|(got, want)| (got - want).abs() <= tol)
+}
+
+/// One sample of the Fig. 2 gradient field: for an MPCC₂ connection whose
+/// other subflow holds a full 100 Mbps link, and a single-path PCC sharing
+/// this link, returns `(dU_mpcc/dx, dU_pcc/dy)` at shared-link rates
+/// `(x, y)`.
+pub fn fig2_gradients(p: &UtilityParams, cap: f64, x: f64, y: f64) -> (f64, f64) {
+    let spec = ParallelNetSpec {
+        capacities: vec![cap, cap],
+        conns: vec![vec![0, 1], vec![0]],
+    };
+    let rates = vec![vec![x, cap], vec![y]];
+    (
+        fluid_gradient(p, &spec, &rates, 0, 0),
+        fluid_gradient(p, &spec, &rates, 1, 0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> UtilityParams {
+        UtilityParams::mpcc_loss()
+    }
+
+    #[test]
+    fn loads_and_losses() {
+        let spec = ParallelNetSpec {
+            capacities: vec![100.0, 100.0],
+            conns: vec![vec![0, 1], vec![1]],
+        };
+        let rates = vec![vec![50.0, 80.0], vec![40.0]];
+        assert_eq!(link_loads(&spec, &rates), vec![50.0, 120.0]);
+        let loss = link_loss(&spec, &rates);
+        assert_eq!(loss[0], 0.0);
+        assert!((loss[1] - 20.0 / 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig2_field_shape() {
+        // Below capacity both derivatives are positive, and PCC's is
+        // larger (it has no bandwidth elsewhere).
+        let (g_mpcc, g_pcc) = fig2_gradients(&p(), 100.0, 30.0, 30.0);
+        assert!(g_mpcc > 0.0 && g_pcc > 0.0);
+        assert!(g_pcc > g_mpcc);
+        // Above capacity both are negative, and MPCC's decreases faster
+        // (loses less utility by backing off).
+        let (g_mpcc, g_pcc) = fig2_gradients(&p(), 100.0, 80.0, 80.0);
+        assert!(g_mpcc < 0.0 && g_pcc < 0.0);
+        assert!(g_mpcc < g_pcc, "mpcc {g_mpcc} pcc {g_pcc}");
+    }
+
+    #[test]
+    fn fluid_dynamics_reach_lmmf_on_fig3c() {
+        // MPCC over {0,1} vs PCC on {1}: the fluid dynamics must hand
+        // link 1 to the PCC connection (Fig. 2's red-dot equilibrium).
+        let spec = ParallelNetSpec {
+            capacities: vec![100.0, 100.0],
+            conns: vec![vec![0, 1], vec![1]],
+        };
+        let start = vec![vec![10.0, 10.0], vec![10.0]];
+        let rates = fluid_converge(&p(), &spec, &start, 40_000, 0.5);
+        let t = totals(&rates);
+        // Some overshoot is inherent (equilibria sit slightly above
+        // capacity, the loss floor of β>3); totals within a few Mbps.
+        assert!((t[0] - 100.0).abs() < 8.0, "{t:?} rates {rates:?}");
+        assert!((t[1] - 100.0).abs() < 8.0, "{t:?}");
+        // The MPCC subflow on the shared link backs off to (near) zero.
+        assert!(rates[0][1] < 10.0, "{rates:?}");
+    }
+
+    #[test]
+    fn fluid_dynamics_resource_pool_identical_conns() {
+        let spec = ParallelNetSpec {
+            capacities: vec![100.0, 100.0],
+            conns: vec![vec![0, 1], vec![0, 1]],
+        };
+        let start = vec![vec![5.0, 40.0], vec![40.0, 5.0]];
+        let rates = fluid_converge(&p(), &spec, &start, 40_000, 0.5);
+        let t = totals(&rates);
+        assert!((t[0] - t[1]).abs() < 8.0, "resource pooling: {t:?}");
+    }
+
+    #[test]
+    fn converged_point_is_equilibrium() {
+        let spec = ParallelNetSpec {
+            capacities: vec![100.0, 100.0],
+            conns: vec![vec![0, 1], vec![1]],
+        };
+        let start = vec![vec![10.0, 10.0], vec![10.0]];
+        let rates = fluid_converge(&p(), &spec, &start, 40_000, 0.5);
+        assert!(is_equilibrium(&p(), &spec, &rates, 1.0, 0.2), "{rates:?}");
+    }
+
+    #[test]
+    fn equilibrium_totals_match_lmmf_band() {
+        // Theorem 5.1 statement, numerically: the converged equilibrium's
+        // totals match the LMMF allocation (within the loss-floor band).
+        let spec = ParallelNetSpec {
+            capacities: vec![100.0, 100.0, 100.0],
+            conns: vec![vec![0, 1], vec![1, 2], vec![2, 0]],
+        };
+        let start = vec![
+            vec![30.0, 10.0],
+            vec![30.0, 10.0],
+            vec![30.0, 10.0],
+        ];
+        let rates = fluid_converge(&p(), &spec, &start, 40_000, 0.5);
+        assert!(is_lmmf(&spec, &rates, 10.0), "{:?}", totals(&rates));
+    }
+
+    #[test]
+    fn non_equilibrium_detected() {
+        let spec = ParallelNetSpec {
+            capacities: vec![100.0],
+            conns: vec![vec![0]],
+        };
+        // 10 Mbps on an empty 100 Mbps link: clearly improvable.
+        let rates = vec![vec![10.0]];
+        assert!(!is_equilibrium(&p(), &spec, &rates, 1.0, 1e-6));
+    }
+}

@@ -1,0 +1,150 @@
+//! A small Dinic max-flow implementation over integer capacities, used as
+//! the feasibility oracle of the LMMF computation.
+
+/// An edge in the flow network.
+#[derive(Clone, Debug)]
+struct Edge {
+    to: usize,
+    cap: u64,
+    /// Index of the reverse edge in `graph[to]`.
+    rev: usize,
+}
+
+/// A max-flow problem instance.
+pub struct MaxFlow {
+    graph: Vec<Vec<Edge>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl MaxFlow {
+    /// Creates a network with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        MaxFlow {
+            graph: vec![Vec::new(); n],
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Adds a directed edge `from → to` with capacity `cap`.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) {
+        let rev_from = self.graph[to].len();
+        let rev_to = self.graph[from].len();
+        self.graph[from].push(Edge {
+            to,
+            cap,
+            rev: rev_from,
+        });
+        self.graph[to].push(Edge {
+            to: from,
+            cap: 0,
+            rev: rev_to,
+        });
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for e in &self.graph[v] {
+                if e.cap > 0 && self.level[e.to] < 0 {
+                    self.level[e.to] = self.level[v] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, v: usize, t: usize, f: u64) -> u64 {
+        if v == t {
+            return f;
+        }
+        while self.iter[v] < self.graph[v].len() {
+            let (to, cap, rev) = {
+                let e = &self.graph[v][self.iter[v]];
+                (e.to, e.cap, e.rev)
+            };
+            if cap > 0 && self.level[v] < self.level[to] {
+                let d = self.dfs(to, t, f.min(cap));
+                if d > 0 {
+                    self.graph[v][self.iter[v]].cap -= d;
+                    self.graph[to][rev].cap += d;
+                    return d;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0
+    }
+
+    /// Computes the maximum flow from `s` to `t`.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
+        let mut flow = 0;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, u64::MAX);
+                if f == 0 {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+
+    /// Flow currently pushed along the `idx`-th outgoing edge added from
+    /// `from` (original capacity minus residual).
+    pub fn edge_flow(&self, from: usize, idx: usize, original_cap: u64) -> u64 {
+        original_cap - self.graph[from][idx].cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_path() {
+        let mut mf = MaxFlow::new(3);
+        mf.add_edge(0, 1, 5);
+        mf.add_edge(1, 2, 3);
+        assert_eq!(mf.max_flow(0, 2), 3);
+    }
+
+    #[test]
+    fn parallel_paths_sum() {
+        let mut mf = MaxFlow::new(4);
+        mf.add_edge(0, 1, 4);
+        mf.add_edge(0, 2, 6);
+        mf.add_edge(1, 3, 10);
+        mf.add_edge(2, 3, 5);
+        assert_eq!(mf.max_flow(0, 3), 9);
+    }
+
+    #[test]
+    fn bottleneck_in_the_middle() {
+        // Classic diamond with a cross edge.
+        let mut mf = MaxFlow::new(6);
+        mf.add_edge(0, 1, 10);
+        mf.add_edge(0, 2, 10);
+        mf.add_edge(1, 3, 4);
+        mf.add_edge(1, 4, 8);
+        mf.add_edge(2, 4, 9);
+        mf.add_edge(3, 5, 10);
+        mf.add_edge(4, 5, 10);
+        assert_eq!(mf.max_flow(0, 5), 14);
+    }
+
+    #[test]
+    fn zero_when_disconnected() {
+        let mut mf = MaxFlow::new(4);
+        mf.add_edge(0, 1, 5);
+        mf.add_edge(2, 3, 5);
+        assert_eq!(mf.max_flow(0, 3), 0);
+    }
+}

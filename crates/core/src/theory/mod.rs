@@ -1,0 +1,14 @@
+//! Theory companion to the paper's §4–§5 and Appendices A–C: exact LMMF
+//! allocations (the equilibria Theorems 4.1/5.1 characterize), fluid-model
+//! gradient dynamics (Theorem 5.2's convergence, Fig. 2's gradient field),
+//! and a small max-flow solver underneath.
+
+pub mod fluid;
+pub mod lmmf;
+pub mod maxflow;
+
+pub use fluid::{
+    fig2_gradients, fluid_converge, fluid_gradient, fluid_utility, is_equilibrium, is_lmmf,
+    link_loads, link_loss, totals, RateConfig,
+};
+pub use lmmf::{lmmf_allocation, lmmf_with_flows, ParallelNetSpec};

@@ -1,0 +1,206 @@
+//! The MPCC utility functions — Eq. (1) and Eq. (2) of the paper.
+//!
+//! Rates are expressed in **Mbps** inside utility computations, matching the
+//! calibration of the published coefficients (α = 0.9, β = 11.35, chosen so
+//! that MPCC₁ coincides with PCC Vivace's specification).
+
+/// Coefficients of the utility functions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UtilityParams {
+    /// Throughput-reward exponent, `0 ≤ α < 1`.
+    pub alpha: f64,
+    /// Loss penalty coefficient, `β > 3`.
+    pub beta: f64,
+    /// Latency-gradient penalty coefficient, `γ ≥ 0`.
+    pub gamma: f64,
+}
+
+impl UtilityParams {
+    /// MPCC-loss: the paper's purely loss-based variant
+    /// (α = 0.9, β = 11.35, γ = 0).
+    pub fn mpcc_loss() -> Self {
+        UtilityParams {
+            alpha: 0.9,
+            beta: 11.35,
+            gamma: 0.0,
+        }
+    }
+
+    /// MPCC-latency: the latency-sensitive variant
+    /// (α = 0.9, β = 11.35, γ = 1).
+    pub fn mpcc_latency() -> Self {
+        UtilityParams {
+            alpha: 0.9,
+            beta: 11.35,
+            gamma: 1.0,
+        }
+    }
+
+    /// Validates the theoretical constraints (`0 ≤ α < 1`, `β > 3`,
+    /// `γ ≥ 0`) the convergence proofs require.
+    pub fn satisfies_theory_bounds(&self) -> bool {
+        (0.0..1.0).contains(&self.alpha) && self.beta > 3.0 && self.gamma >= 0.0
+    }
+}
+
+/// Eq. (2): the utility of subflow `j` of a connection, given
+///
+/// * `x` — subflow `j`'s own sending rate (Mbps),
+/// * `others` — the sum of the *published* rates of the connection's other
+///   subflows (Mbps), treated as a constant,
+/// * `loss` — subflow `j`'s loss rate `L_j ∈ [0, 1]`,
+/// * `lat_gradient` — subflow `j`'s d(RTT)/dT (dimensionless).
+pub fn subflow_utility(
+    p: &UtilityParams,
+    x: f64,
+    others: f64,
+    loss: f64,
+    lat_gradient: f64,
+) -> f64 {
+    let total = (others + x).max(0.0);
+    total.powf(p.alpha) - p.beta * total * loss - p.gamma * total * lat_gradient
+}
+
+/// Eq. (1): the connection-level utility (the §4 "failed try"), given the
+/// per-subflow rates, loss rates and latency gradients.
+pub fn connection_utility(
+    p: &UtilityParams,
+    rates: &[f64],
+    losses: &[f64],
+    lat_gradients: &[f64],
+) -> f64 {
+    assert_eq!(rates.len(), losses.len());
+    assert_eq!(rates.len(), lat_gradients.len());
+    let total: f64 = rates.iter().sum();
+    let worst = losses
+        .iter()
+        .zip(lat_gradients)
+        .map(|(&l, &g)| p.beta * l + p.gamma * g)
+        .fold(0.0_f64, f64::max);
+    total.max(0.0).powf(p.alpha) - total * worst
+}
+
+/// The partial derivative of the subflow utility with respect to the
+/// subflow's own rate, under the standard bottleneck loss model
+/// `L = (S − C)/S` on a link with capacity `cap` and aggregate offered load
+/// `agg` (all Mbps). Used by the theory module (Fig. 2, equilibrium
+/// checks), not by the online controller (which estimates gradients from
+/// measurements).
+pub fn subflow_utility_derivative(
+    p: &UtilityParams,
+    x: f64,
+    others: f64,
+    agg: f64,
+    cap: f64,
+) -> f64 {
+    let total = (others + x).max(1e-12);
+    let reward = p.alpha * total.powf(p.alpha - 1.0);
+    if agg <= cap {
+        return reward;
+    }
+    // L(agg) = (agg - cap)/agg; dL/dx = cap/agg².
+    let loss = (agg - cap) / agg;
+    let dloss = cap / (agg * agg);
+    reward - p.beta * (loss + total * dloss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameter_sets() {
+        let l = UtilityParams::mpcc_loss();
+        assert!(l.satisfies_theory_bounds());
+        assert_eq!(l.gamma, 0.0);
+        let lat = UtilityParams::mpcc_latency();
+        assert!(lat.satisfies_theory_bounds());
+        assert_eq!(lat.gamma, 1.0);
+        assert!(!UtilityParams {
+            alpha: 1.0,
+            beta: 11.35,
+            gamma: 0.0
+        }
+        .satisfies_theory_bounds());
+        assert!(!UtilityParams {
+            alpha: 0.9,
+            beta: 2.0,
+            gamma: 0.0
+        }
+        .satisfies_theory_bounds());
+    }
+
+    #[test]
+    fn single_subflow_matches_vivace_form() {
+        // d = 1 (others = 0): U = x^α − β·x·L − γ·x·G, Vivace's function.
+        let p = UtilityParams::mpcc_latency();
+        let u = subflow_utility(&p, 100.0, 0.0, 0.05, 0.02);
+        let expected = 100.0_f64.powf(0.9) - 11.35 * 100.0 * 0.05 - 1.0 * 100.0 * 0.02;
+        assert!((u - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utility_increases_in_rate_without_loss() {
+        let p = UtilityParams::mpcc_loss();
+        let u1 = subflow_utility(&p, 10.0, 50.0, 0.0, 0.0);
+        let u2 = subflow_utility(&p, 20.0, 50.0, 0.0, 0.0);
+        assert!(u2 > u1);
+    }
+
+    #[test]
+    fn diminishing_returns_with_larger_other_rates() {
+        // The same +10 Mbps is worth less to a connection already sending a
+        // lot elsewhere — the mechanism behind the Fig. 2 convergence story.
+        let p = UtilityParams::mpcc_loss();
+        let gain_small = subflow_utility(&p, 20.0, 10.0, 0.0, 0.0)
+            - subflow_utility(&p, 10.0, 10.0, 0.0, 0.0);
+        let gain_big = subflow_utility(&p, 20.0, 200.0, 0.0, 0.0)
+            - subflow_utility(&p, 10.0, 200.0, 0.0, 0.0);
+        assert!(gain_small > gain_big);
+    }
+
+    #[test]
+    fn loss_penalty_dominates_at_high_loss() {
+        let p = UtilityParams::mpcc_loss();
+        let u = subflow_utility(&p, 100.0, 0.0, 0.5, 0.0);
+        assert!(u < 0.0, "β > 3 makes 50% loss strongly negative: {u}");
+    }
+
+    #[test]
+    fn connection_utility_penalizes_worst_subflow() {
+        let p = UtilityParams::mpcc_loss();
+        // Same totals; one config has its loss concentrated on one subflow.
+        let u_balanced = connection_utility(&p, &[50.0, 50.0], &[0.02, 0.02], &[0.0, 0.0]);
+        let u_skewed = connection_utility(&p, &[50.0, 50.0], &[0.0, 0.04], &[0.0, 0.0]);
+        // max(0.02,0.02) = 0.02 < max(0,0.04) = 0.04.
+        assert!(u_balanced > u_skewed);
+    }
+
+    #[test]
+    fn connection_utility_with_one_subflow_equals_subflow_utility() {
+        let p = UtilityParams::mpcc_latency();
+        let a = connection_utility(&p, &[80.0], &[0.01], &[0.1]);
+        let b = subflow_utility(&p, 80.0, 0.0, 0.01, 0.1);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derivative_positive_below_capacity_negative_when_overloaded() {
+        let p = UtilityParams::mpcc_loss();
+        let below = subflow_utility_derivative(&p, 40.0, 0.0, 80.0, 100.0);
+        assert!(below > 0.0);
+        // Aggregate 150 on a 100 Mbps link: heavy loss, negative gradient.
+        let above = subflow_utility_derivative(&p, 75.0, 0.0, 150.0, 100.0);
+        assert!(above < 0.0, "{above}");
+    }
+
+    #[test]
+    fn derivative_lower_for_connection_with_more_elsewhere() {
+        // The Fig. 2 asymmetry: on a shared link below capacity, the
+        // connection with bandwidth elsewhere has the smaller derivative.
+        let p = UtilityParams::mpcc_loss();
+        let pcc = subflow_utility_derivative(&p, 30.0, 0.0, 60.0, 100.0);
+        let mpcc = subflow_utility_derivative(&p, 30.0, 100.0, 60.0, 100.0);
+        assert!(pcc > mpcc);
+    }
+}

@@ -1,0 +1,56 @@
+//! The experiments binary: `experiments <id>... [--full] [--seed N]
+//! [--runs N] [--out DIR]`, or `experiments all` / `experiments list`.
+
+use mpcc_experiments::scenarios::{self, ALL};
+use mpcc_experiments::ExpConfig;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExpConfig::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => cfg.full = true,
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--runs" => {
+                cfg.runs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--runs needs an integer");
+            }
+            "--out" => {
+                cfg.out_dir = it.next().expect("--out needs a directory").into();
+            }
+            "list" => {
+                println!("available experiments: {}", ALL.join(" "));
+                return;
+            }
+            "all" => ids.extend(ALL.iter().map(|s| s.to_string())),
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!(
+            "usage: experiments <id>... | all | list  [--full] [--seed N] [--runs N] [--out DIR]"
+        );
+        eprintln!("ids: {}", ALL.join(" "));
+        std::process::exit(2);
+    }
+    ids.dedup();
+    for id in ids {
+        let start = Instant::now();
+        eprintln!(">>> running {id} (full={}, seed={})", cfg.full, cfg.seed);
+        let figures = scenarios::dispatch(&id, &cfg);
+        for fig in figures {
+            fig.emit(&cfg.out_dir);
+        }
+        eprintln!("<<< {id} done in {:.1}s", start.elapsed().as_secs_f64());
+    }
+}

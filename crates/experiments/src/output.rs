@@ -1,0 +1,143 @@
+//! Experiment output: aligned tables on stdout plus CSV files under
+//! `results/`, so EXPERIMENTS.md can reference reproducible numbers.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// A reproduced table/figure: a titled grid of values.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Figure {
+    /// Experiment id, e.g. "fig5a".
+    pub id: String,
+    /// Human-readable title (what the paper's caption says).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (scaling, substitutions).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Figure {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.columns.len());
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// Prints the table and writes `<dir>/<id>.csv` and `<dir>/<id>.json`.
+    pub fn emit(&self, dir: &Path) {
+        print!("{}", self.render());
+        println!();
+        if let Err(e) = self.write_files(dir) {
+            eprintln!("warning: could not write results for {}: {e}", self.id);
+        }
+    }
+
+    fn write_files(&self, dir: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut csv = fs::File::create(dir.join(format!("{}.csv", self.id)))?;
+        writeln!(csv, "{}", self.columns.join(","))?;
+        for row in &self.rows {
+            writeln!(csv, "{}", row.join(","))?;
+        }
+        let json = fs::File::create(dir.join(format!("{}.json", self.id)))?;
+        serde_json::to_writer_pretty(json, self)?;
+        Ok(())
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut fig = Figure::new("figX", "test", &["proto", "goodput"]);
+        fig.row(vec!["mpcc-latency".into(), "93.10".into()]);
+        fig.row(vec!["lia".into(), "7.00".into()]);
+        let text = fig.render();
+        assert!(text.contains("figX"));
+        let lines: Vec<&str> = text.lines().collect();
+        // Header and both rows end aligned on the goodput column.
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    fn emit_writes_csv_and_json() {
+        let dir = std::env::temp_dir().join("mpcc_test_output");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut fig = Figure::new("figY", "t", &["a", "b"]);
+        fig.row(vec!["1".into(), "2".into()]);
+        fig.note("scaled");
+        fig.write_files(&dir).unwrap();
+        let csv = std::fs::read_to_string(dir.join("figY.csv")).unwrap();
+        assert_eq!(csv, "a,b\n1,2\n");
+        let json = std::fs::read_to_string(dir.join("figY.json")).unwrap();
+        assert!(json.contains("\"figY\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,324 @@
+//! The generic scenario runner: builds a parallel-link simulation from a
+//! declarative description, runs it with periodic sampling, and returns
+//! per-connection/per-subflow results.
+
+use crate::protocols;
+use mpcc_metrics::{RateSeries, Summary};
+use mpcc_netsim::link::{LinkParams, LinkStats};
+use mpcc_netsim::topology::parallel_links;
+use mpcc_netsim::EndpointId;
+use mpcc_simcore::{rng::splitmix64, SimDuration, SimTime};
+use mpcc_transport::{MpReceiver, MpSender, SenderConfig, Workload};
+
+/// One connection of a scenario.
+#[derive(Clone, Debug)]
+pub struct ConnSpec {
+    /// Protocol label (see [`protocols::make`]).
+    pub proto: String,
+    /// Link index (into the scenario's link list) of each subflow.
+    pub links: Vec<usize>,
+    /// Transfer size; `Bulk` for iperf-style runs.
+    pub workload: Workload,
+    /// Transmission start time.
+    pub start: SimTime,
+}
+
+impl ConnSpec {
+    /// A bulk connection starting at time zero.
+    pub fn bulk(proto: &str, links: Vec<usize>) -> Self {
+        ConnSpec {
+            proto: proto.to_string(),
+            links,
+            workload: Workload::Bulk,
+            start: SimTime::ZERO,
+        }
+    }
+}
+
+/// A declarative parallel-link experiment.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Experiment seed (drives loss draws, MI jitter, probe ordering).
+    pub seed: u64,
+    /// The parallel bottleneck links.
+    pub links: Vec<LinkParams>,
+    /// The competing connections.
+    pub conns: Vec<ConnSpec>,
+    /// Total simulated time.
+    pub duration: SimDuration,
+    /// Statistics before this offset are discarded (the paper drops the
+    /// first 30 s of its 200 s runs).
+    pub warmup: SimDuration,
+    /// Sampling interval for the time series.
+    pub sample_every: SimDuration,
+    /// Scheduled link parameter changes (§7.2.3): (time, link, params).
+    pub link_changes: Vec<(SimTime, usize, LinkParams)>,
+}
+
+impl Scenario {
+    /// A scenario over `links` with the usual defaults (60 s run, 10 s
+    /// warmup, 1 s samples).
+    pub fn new(seed: u64, links: Vec<LinkParams>, conns: Vec<ConnSpec>) -> Self {
+        Scenario {
+            seed,
+            links,
+            conns,
+            duration: SimDuration::from_secs(60),
+            warmup: SimDuration::from_secs(10),
+            sample_every: SimDuration::from_secs(1),
+            link_changes: Vec::new(),
+        }
+    }
+
+    /// Scales run length and warmup (×5 for `--full` paper-scale runs).
+    pub fn with_duration(mut self, duration: SimDuration, warmup: SimDuration) -> Self {
+        self.duration = duration;
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the sampling interval.
+    pub fn with_sampling(mut self, every: SimDuration) -> Self {
+        self.sample_every = every;
+        self
+    }
+}
+
+/// Per-connection outcome of a run.
+#[derive(Clone, Debug)]
+pub struct ConnResult {
+    /// Protocol label.
+    pub proto: String,
+    /// Mean goodput after warmup, Mbps (connection-level in-order bytes).
+    pub goodput_mbps: f64,
+    /// Goodput time series.
+    pub series: RateSeries,
+    /// Per-subflow delivered-byte rate series.
+    pub subflow_series: Vec<RateSeries>,
+    /// Smoothed-RTT samples per subflow, (time, ms).
+    pub srtt_ms: Vec<Vec<(SimTime, f64)>>,
+    /// Flow completion time (finite workloads), seconds.
+    pub fct: Option<f64>,
+    /// Total packets lost across subflows.
+    pub lost_packets: u64,
+    /// Total packets sent across subflows.
+    pub sent_packets: u64,
+}
+
+/// Outcome of a scenario run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// One entry per connection, in `Scenario::conns` order.
+    pub conns: Vec<ConnResult>,
+    /// Final per-link counters.
+    pub links: Vec<LinkStats>,
+    /// Mean aggregate goodput after warmup, Mbps.
+    pub total_goodput_mbps: f64,
+}
+
+impl RunResult {
+    /// Jain fairness index over the connections' mean goodputs.
+    pub fn jain(&self) -> f64 {
+        let v: Vec<f64> = self.conns.iter().map(|c| c.goodput_mbps).collect();
+        mpcc_metrics::jain_index(&v)
+    }
+
+    /// Aggregate goodput divided by total link capacity (`capacities` in
+    /// Mbps) — the paper's Fig. 10b normalization.
+    pub fn utilization(&self, capacities_mbps: f64) -> f64 {
+        if capacities_mbps <= 0.0 {
+            return 0.0;
+        }
+        self.total_goodput_mbps / capacities_mbps
+    }
+}
+
+/// Runs a scenario to completion.
+pub fn run(sc: &Scenario) -> RunResult {
+    let mut net = parallel_links(sc.seed, &sc.links);
+    // Paths: one per (connection, subflow); paths over the same link are
+    // distinct PathIds but share the Link object.
+    let mut sim_paths: Vec<Vec<_>> = Vec::new();
+    for conn in &sc.conns {
+        let paths = conn.links.iter().map(|&l| net.path(l)).collect();
+        sim_paths.push(paths);
+    }
+    let mut sim = net.sim;
+    for (t, link, params) in &sc.link_changes {
+        sim.schedule_link_change(*t, net.links[*link], *params);
+    }
+
+    let mut senders: Vec<EndpointId> = Vec::new();
+    for (i, conn) in sc.conns.iter().enumerate() {
+        let recv = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
+        let cc = protocols::make(
+            &conn.proto,
+            splitmix64(sc.seed ^ splitmix64(0xC0FFEE + i as u64)),
+        );
+        let cfg = SenderConfig {
+            dst: recv,
+            paths: sim_paths[i].clone(),
+            workload: conn.workload,
+            scheduler: protocols::scheduler_for(&conn.proto),
+            start_at: conn.start,
+            peer_buffer: 300_000_000,
+        };
+        senders.push(sim.add_endpoint(Box::new(MpSender::new(cfg, cc))));
+    }
+
+    // Sampling loop.
+    let n = sc.conns.len();
+    let mut series: Vec<RateSeries> = (0..n).map(|_| RateSeries::new()).collect();
+    let mut sf_series: Vec<Vec<RateSeries>> = sc
+        .conns
+        .iter()
+        .map(|c| (0..c.links.len()).map(|_| RateSeries::new()).collect())
+        .collect();
+    let mut srtt: Vec<Vec<Vec<(SimTime, f64)>>> = sc
+        .conns
+        .iter()
+        .map(|c| vec![Vec::new(); c.links.len()])
+        .collect();
+    let mut t = SimTime::ZERO;
+    let end = SimTime::ZERO + sc.duration;
+    while t < end {
+        t += sc.sample_every;
+        sim.run_until(t.min(end));
+        for (i, &id) in senders.iter().enumerate() {
+            let sender = sim.endpoint::<MpSender>(id);
+            series[i].push_cumulative(t, sender.data_acked());
+            for k in 0..sc.conns[i].links.len() {
+                if k < sender.num_subflows() {
+                    let stats = sender.subflow_stats(k);
+                    sf_series[i][k].push_cumulative(t, stats.delivered_bytes);
+                    srtt[i][k].push((t, stats.srtt.as_millis_f64()));
+                }
+            }
+        }
+    }
+
+    let warm = SimTime::ZERO + sc.warmup;
+    let mut conns = Vec::with_capacity(n);
+    for (i, spec) in sc.conns.iter().enumerate() {
+        let sender = sim.endpoint::<MpSender>(senders[i]);
+        let (mut lost, mut sent) = (0, 0);
+        let active_sfs = sender.num_subflows();
+        for k in 0..active_sfs {
+            let s = sender.subflow_stats(k);
+            lost += s.lost_packets;
+            sent += s.sent_packets;
+        }
+        conns.push(ConnResult {
+            proto: spec.proto.clone(),
+            goodput_mbps: series[i].mean_after(warm),
+            series: series[i].clone(),
+            subflow_series: sf_series[i].clone(),
+            srtt_ms: srtt[i].clone(),
+            fct: sender.fct().map(|d| d.as_secs_f64()),
+            lost_packets: lost,
+            sent_packets: sent,
+        });
+    }
+    let total = conns.iter().map(|c| c.goodput_mbps).sum();
+    let links = net.links.iter().map(|&l| sim.link_stats(l)).collect();
+    RunResult {
+        conns,
+        links,
+        total_goodput_mbps: total,
+    }
+}
+
+/// Runs `runs` seeds of the same scenario and returns the per-connection
+/// goodput summaries (index = connection).
+pub fn run_seeds(sc: &Scenario, runs: u64) -> Vec<Summary> {
+    let mut per_conn: Vec<Vec<f64>> = vec![Vec::new(); sc.conns.len()];
+    for r in 0..runs {
+        let mut sc_r = sc.clone();
+        sc_r.seed = splitmix64(sc.seed ^ splitmix64(r + 1));
+        let result = run(&sc_r);
+        for (i, c) in result.conns.iter().enumerate() {
+            per_conn[i].push(c.goodput_mbps);
+        }
+    }
+    per_conn.iter().map(|v| Summary::of(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reno_fills_default_link() {
+        let sc = Scenario::new(
+            1,
+            vec![LinkParams::paper_default()],
+            vec![ConnSpec::bulk("reno", vec![0])],
+        )
+        .with_duration(SimDuration::from_secs(20), SimDuration::from_secs(5));
+        let result = run(&sc);
+        assert!(
+            result.conns[0].goodput_mbps > 80.0,
+            "{}",
+            result.conns[0].goodput_mbps
+        );
+        assert!(result.jain() > 0.999);
+        assert!(result.utilization(100.0) > 0.8);
+    }
+
+    #[test]
+    fn two_reno_flows_share_fairly() {
+        let sc = Scenario::new(
+            2,
+            vec![LinkParams::paper_default()],
+            vec![
+                ConnSpec::bulk("reno", vec![0]),
+                ConnSpec::bulk("reno", vec![0]),
+            ],
+        )
+        .with_duration(SimDuration::from_secs(40), SimDuration::from_secs(10));
+        let result = run(&sc);
+        assert!(result.jain() > 0.85, "jain {}", result.jain());
+        assert!(result.total_goodput_mbps > 80.0);
+    }
+
+    #[test]
+    fn finite_workload_reports_fct() {
+        let sc = Scenario::new(
+            3,
+            vec![LinkParams::paper_default()],
+            vec![ConnSpec {
+                proto: "reno".into(),
+                links: vec![0],
+                workload: Workload::Finite(5_000_000),
+                start: SimTime::ZERO,
+            }],
+        )
+        .with_duration(SimDuration::from_secs(20), SimDuration::ZERO);
+        let result = run(&sc);
+        let fct = result.conns[0].fct.expect("flow completes");
+        // 5 MB over ≤100 Mbps with slow start: between 0.4 and 5 s.
+        assert!((0.4..5.0).contains(&fct), "fct {fct}");
+    }
+
+    #[test]
+    fn link_change_takes_effect() {
+        let mut sc = Scenario::new(
+            4,
+            vec![LinkParams::paper_default()],
+            vec![ConnSpec::bulk("reno", vec![0])],
+        )
+        .with_duration(SimDuration::from_secs(30), SimDuration::from_secs(2));
+        sc.link_changes.push((
+            SimTime::from_secs(10),
+            0,
+            LinkParams::paper_default().with_capacity(mpcc_simcore::Rate::from_mbps(10.0)),
+        ));
+        let result = run(&sc);
+        let early = result.conns[0].series.mean_after(SimTime::from_secs(2))
+            - result.conns[0].series.mean_after(SimTime::from_secs(12));
+        // Goodput after the cut must be far below the early value.
+        let late = result.conns[0].series.mean_after(SimTime::from_secs(12));
+        assert!(late < 15.0, "late {late}");
+        assert!(early > 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Ablations of MPCC's design choices (beyond the paper's own figures):
+//!
+//! * **A1 — per-subflow vs connection-level control** (§4's "failed try"):
+//!   on a topology with heterogeneous RTTs, the connection-level controller
+//!   suffers Obstacles I–III (sequential probing, slowest-RTT monitor
+//!   intervals, worst-subflow penalty) and converges slower / utilizes
+//!   less.
+//! * **A2 — probe amplitude ω** as a fraction of the connection total
+//!   (the paper's choice) vs of the subflow's own rate: with asymmetric
+//!   link bandwidths, own-rate scaling "gets stuck" (§5.2).
+//! * **A3 — utility γ** (loss-only vs latency-aware) on deep buffers:
+//!   the latency/throughput trade-off behind MPCC-loss vs MPCC-latency.
+
+use crate::output::{f2, Figure};
+use crate::runner::{run as run_scenario, ConnSpec, Scenario};
+use crate::ExpConfig;
+use mpcc_netsim::link::LinkParams;
+use mpcc_simcore::rng::splitmix64;
+use mpcc_simcore::{Rate, SimDuration, SimTime};
+
+/// Runs all ablations.
+pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
+    vec![a1(cfg), a2(cfg), a3(cfg)]
+}
+
+/// A1: per-subflow (MPCC) vs connection-level (§4) controller.
+fn a1(cfg: &ExpConfig) -> Figure {
+    let duration = cfg.scale(SimDuration::from_secs(60), SimDuration::from_secs(200));
+    let warmup = cfg.scale(SimDuration::from_secs(15), SimDuration::from_secs(30));
+    let mut fig = Figure::new(
+        "ablation-a1",
+        "per-subflow vs connection-level control, 10 ms + 100 ms links (§4 Obstacles I-III)",
+        &["controller", "goodput_mbps", "time_to_100mbps_s"],
+    );
+    // Heterogeneous RTTs: link 0 fast (10 ms), link 1 slow (100 ms).
+    let links = vec![
+        LinkParams::paper_default().with_delay(SimDuration::from_millis(10)),
+        LinkParams::paper_default().with_delay(SimDuration::from_millis(100)),
+    ];
+    for proto in ["mpcc-loss", "mpcc-conn-level"] {
+        let sc = Scenario::new(
+            splitmix64(cfg.seed ^ 0xA1),
+            links.clone(),
+            vec![ConnSpec::bulk(proto, vec![0, 1])],
+        )
+        .with_duration(duration, warmup);
+        let result = run_scenario(&sc);
+        // Time to first reach half the 200 Mbps capacity.
+        let t80 = result.conns[0]
+            .series
+            .points()
+            .iter()
+            .find(|p| p.mbps >= 100.0)
+            .map(|p| p.t.as_secs_f64())
+            .unwrap_or(f64::NAN);
+        fig.row(vec![
+            proto.to_string(),
+            f2(result.conns[0].goodput_mbps),
+            f2(t80),
+        ]);
+    }
+    fig.note("Obstacle II forces the fast subflow onto 100 ms monitor intervals; Obstacle I costs 2d MIs per gradient estimate");
+    fig
+}
+
+/// A2: ω from connection total vs from the subflow's own rate.
+fn a2(cfg: &ExpConfig) -> Figure {
+    use mpcc::{Mpcc, MpccConfig, StateConfig};
+    use mpcc_netsim::topology::parallel_links;
+    use mpcc_transport::{MpReceiver, MpSender, SchedulerKind, SenderConfig};
+
+    let duration = cfg.scale(SimDuration::from_secs(60), SimDuration::from_secs(200));
+    let warmup = cfg.scale(SimDuration::from_secs(15), SimDuration::from_secs(30));
+    let mut fig = Figure::new(
+        "ablation-a2",
+        "probe amplitude scaling on asymmetric links (20 + 300 Mbps): §5.2's design choice",
+        &["omega_scaling", "goodput_mbps", "slow_link_share_pct"],
+    );
+    let links = [
+        LinkParams::paper_default().with_capacity(Rate::from_mbps(20.0)),
+        LinkParams::paper_default().with_capacity(Rate::from_mbps(300.0)),
+    ];
+    for (label, own_rate) in [("of_connection_total", false), ("of_own_rate", true)] {
+        let mut net = parallel_links(splitmix64(cfg.seed ^ 0xA2), &links);
+        let p0 = net.path(0);
+        let p1 = net.path(1);
+        let mut sim = net.sim;
+        let recv = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
+        let mut mcfg = MpccConfig::loss().with_seed(13);
+        mcfg.state = StateConfig {
+            probe_scales_with_own_rate: own_rate,
+            ..mcfg.state
+        };
+        let scfg = SenderConfig::bulk(recv, vec![p0, p1])
+            .with_scheduler(SchedulerKind::paper_rate_based());
+        let sender = sim.add_endpoint(Box::new(MpSender::new(scfg, Box::new(Mpcc::new(mcfg)))));
+        sim.run_until(SimTime::ZERO + warmup);
+        let (a0, s0) = {
+            let s = sim.endpoint::<MpSender>(sender);
+            (s.data_acked(), s.subflow_stats(0).delivered_bytes)
+        };
+        sim.run_until(SimTime::ZERO + duration);
+        let s = sim.endpoint::<MpSender>(sender);
+        let span = duration.as_secs_f64() - warmup.as_secs_f64();
+        let goodput = (s.data_acked() - a0) as f64 * 8.0 / span / 1e6;
+        let slow_bytes = s.subflow_stats(0).delivered_bytes - s0;
+        let share = slow_bytes as f64 * 8.0 / span / 1e6 / 20.0 * 100.0;
+        fig.row(vec![label.to_string(), f2(goodput), f2(share)]);
+    }
+    fig.note("own-rate scaling's probes on the slow link are tiny relative to the fast link's dynamics — gradient estimates stall (§5.2)");
+    fig
+}
+
+/// A3: γ = 0 vs γ = 1 on deep buffers (the MPCC-loss / MPCC-latency
+/// trade-off of §7.2.4).
+fn a3(cfg: &ExpConfig) -> Figure {
+    let duration = cfg.scale(SimDuration::from_secs(60), SimDuration::from_secs(200));
+    let warmup = cfg.scale(SimDuration::from_secs(15), SimDuration::from_secs(30));
+    let mut fig = Figure::new(
+        "ablation-a3",
+        "utility γ: throughput vs self-induced latency on 1 MB buffers",
+        &["variant", "goodput_mbps", "mean_srtt_ms"],
+    );
+    let params = LinkParams::paper_default().with_buffer(1_000_000);
+    for proto in ["mpcc-loss", "mpcc-latency"] {
+        let sc = Scenario::new(
+            splitmix64(cfg.seed ^ 0xA3),
+            vec![params, params],
+            vec![ConnSpec::bulk(proto, vec![0, 1])],
+        )
+        .with_duration(duration, warmup)
+        .with_sampling(SimDuration::from_millis(100));
+        let result = run_scenario(&sc);
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for sf in &result.conns[0].srtt_ms {
+            for &(t, ms) in sf {
+                if t > SimTime::ZERO + warmup && ms > 0.0 {
+                    sum += ms;
+                    n += 1;
+                }
+            }
+        }
+        fig.row(vec![
+            proto.to_string(),
+            f2(result.conns[0].goodput_mbps),
+            f2(if n > 0 { sum / n as f64 } else { 0.0 }),
+        ]);
+    }
+    fig.note("γ=1 trades a little goodput for staying near the 60 ms propagation RTT (§7.2.4)");
+    fig
+}

@@ -1,0 +1,110 @@
+//! Fig. 10: convergence quality across topologies — Jain fairness index
+//! (10a) and normalized total goodput (10b) on the parallel-link networks
+//! of Fig. 3, the OLIA topology (Fig. 4a) and the LIA topology (Fig. 4b),
+//! with buffers at 1 BDP (the regime where MPTCP converges).
+
+use crate::output::{f3, Figure};
+use crate::protocols::{single_path_peer, MULTIPATH_PROTOCOLS};
+use crate::runner::{run as run_scenario, ConnSpec, Scenario};
+use crate::ExpConfig;
+use mpcc_netsim::link::LinkParams;
+use mpcc_simcore::rng::splitmix64;
+use mpcc_simcore::SimDuration;
+
+/// A Fig. 10 topology: name, number of links, and the connections as
+/// (is_multipath, links) — single-path connections run the §7.2.1 peer of
+/// the multipath protocol under test.
+struct Topo {
+    name: &'static str,
+    n_links: usize,
+    conns: Vec<(bool, Vec<usize>)>,
+}
+
+fn topologies() -> Vec<Topo> {
+    vec![
+        Topo {
+            // Fig. 3a: MP with two subflows on the single link + SP.
+            name: "1link-MP-SP",
+            n_links: 1,
+            conns: vec![(true, vec![0, 0]), (false, vec![0])],
+        },
+        Topo {
+            // Fig. 3c.
+            name: "2links-MP-SP",
+            n_links: 2,
+            conns: vec![(true, vec![0, 1]), (false, vec![1])],
+        },
+        Topo {
+            // Fig. 3d.
+            name: "2links-MP-SP-SP",
+            n_links: 2,
+            conns: vec![(true, vec![0, 1]), (false, vec![0]), (false, vec![1])],
+        },
+        Topo {
+            // Fig. 3e.
+            name: "2links-MP-MP",
+            n_links: 2,
+            conns: vec![(true, vec![0, 1]), (true, vec![0, 1])],
+        },
+        Topo {
+            // Fig. 4a, the OLIA topology: SP on link 0, MP over both.
+            name: "OLIA",
+            n_links: 2,
+            conns: vec![(false, vec![0]), (true, vec![0, 1])],
+        },
+        Topo {
+            // Fig. 4b, the LIA topology: three MPs in a cycle.
+            name: "LIA",
+            n_links: 3,
+            conns: vec![
+                (true, vec![0, 1]),
+                (true, vec![1, 2]),
+                (true, vec![2, 0]),
+            ],
+        },
+    ]
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
+    let duration = cfg.scale(SimDuration::from_secs(60), SimDuration::from_secs(200));
+    let warmup = cfg.scale(SimDuration::from_secs(15), SimDuration::from_secs(30));
+
+    let mut columns = vec!["topology".to_string()];
+    columns.extend(MULTIPATH_PROTOCOLS.iter().map(|s| s.to_string()));
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut fig_a = Figure::new("fig10a", "Jain fairness index per topology", &col_refs);
+    let mut fig_b = Figure::new(
+        "fig10b",
+        "total goodput / total capacity per topology",
+        &col_refs,
+    );
+
+    for topo in topologies() {
+        let mut row_a = vec![topo.name.to_string()];
+        let mut row_b = vec![topo.name.to_string()];
+        for proto in MULTIPATH_PROTOCOLS {
+            let conns: Vec<ConnSpec> = topo
+                .conns
+                .iter()
+                .map(|(is_mp, links)| {
+                    let p = if *is_mp { proto } else { single_path_peer(proto) };
+                    ConnSpec::bulk(p, links.clone())
+                })
+                .collect();
+            let sc = Scenario::new(
+                splitmix64(cfg.seed ^ splitmix64(0x10A ^ topo.name.len() as u64)),
+                vec![LinkParams::paper_default(); topo.n_links],
+                conns,
+            )
+            .with_duration(duration, warmup);
+            let result = run_scenario(&sc);
+            row_a.push(f3(result.jain()));
+            row_b.push(f3(result.utilization(100.0 * topo.n_links as f64)));
+        }
+        fig_a.row(row_a);
+        fig_b.row(row_b);
+    }
+    fig_a.note("all buffers at 1 BDP (375 KB) — the regime where MPTCP converges (§7.2.5)");
+    vec![fig_a, fig_b]
+}

@@ -1,0 +1,68 @@
+//! Fig. 11: convergence dynamics on topology 3c — MPCC-latency (11a) vs
+//! Balia (11b) time series of both multipath subflows and the single-path
+//! peer, plus the §7.2.5 rate-jitter comparison.
+
+use crate::output::{f2, Figure};
+use crate::protocols::single_path_peer;
+use crate::runner::{run as run_scenario, ConnSpec, Scenario};
+use crate::ExpConfig;
+use mpcc_netsim::link::LinkParams;
+use mpcc_simcore::rng::splitmix64;
+use mpcc_simcore::{SimDuration, SimTime};
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
+    let duration = cfg.scale(SimDuration::from_secs(150), SimDuration::from_secs(300));
+    let warmup = SimDuration::from_secs(30);
+    let mut figs = Vec::new();
+    let mut jitter = Figure::new(
+        "fig11-jitter",
+        "rate jitter after convergence (mean |Δrate| between 1 s samples, Mbps) — §7.2.5",
+        &["protocol", "mp_subflow1", "mp_subflow2", "single_path"],
+    );
+
+    for (id, proto) in [("fig11a", "mpcc-latency"), ("fig11b", "balia")] {
+        let sc = Scenario::new(
+            splitmix64(cfg.seed ^ splitmix64(0x11A)),
+            vec![LinkParams::paper_default(), LinkParams::paper_default()],
+            vec![
+                ConnSpec::bulk(proto, vec![0, 1]),
+                ConnSpec::bulk(single_path_peer(proto), vec![1]),
+            ],
+        )
+        .with_duration(duration, warmup)
+        .with_sampling(SimDuration::from_secs(1));
+        let result = run_scenario(&sc);
+
+        let mut fig = Figure::new(
+            id,
+            &format!("{proto} convergence on topology 3c (subflow 2 shares link 2 with the single-path flow)"),
+            &["t_sec", "MP-subflow1", "MP-subflow2", "SP"],
+        );
+        let mp = &result.conns[0];
+        let sp = &result.conns[1];
+        let n = mp.subflow_series[0]
+            .points()
+            .len()
+            .min(mp.subflow_series[1].points().len())
+            .min(sp.series.points().len());
+        for i in 0..n {
+            fig.row(vec![
+                f2(mp.subflow_series[0].points()[i].t.as_secs_f64()),
+                f2(mp.subflow_series[0].points()[i].mbps),
+                f2(mp.subflow_series[1].points()[i].mbps),
+                f2(sp.series.points()[i].mbps),
+            ]);
+        }
+        let after = SimTime::ZERO + warmup;
+        jitter.row(vec![
+            proto.to_string(),
+            f2(mp.subflow_series[0].jitter_after(after)),
+            f2(mp.subflow_series[1].jitter_after(after)),
+            f2(sp.series.jitter_after(after)),
+        ]);
+        figs.push(fig);
+    }
+    figs.push(jitter);
+    figs
+}

@@ -1,0 +1,98 @@
+//! Fig. 12/13: TCP friendliness (§7.2.6) — topology 3c with the
+//! single-path competitor running TCP Cubic. Fig. 12 sweeps link 1's
+//! buffer; Fig. 13 sweeps link 1's random loss. Both the multipath
+//! connection's and Cubic's goodput are reported.
+
+use crate::output::{f2, Figure};
+use crate::runner::{run_seeds, ConnSpec, Scenario};
+use crate::ExpConfig;
+use mpcc_netsim::link::LinkParams;
+use mpcc_simcore::rng::splitmix64;
+use mpcc_simcore::SimDuration;
+
+/// The protocols of the paper's Fig. 12/13 (MPCC-latency only: MPCC-loss,
+/// like loss-based Vivace, is knowingly unfriendly — §7.2.6).
+const PROTOCOLS: [&str; 6] = ["mpcc-latency", "lia", "olia", "balia", "reno", "wvegas"];
+
+enum Sweep {
+    Buffer(u64),
+    Loss(f64),
+}
+
+fn run_sweep(
+    cfg: &ExpConfig,
+    id_mp: &str,
+    id_sp: &str,
+    what: &str,
+    sweeps: Vec<(String, Sweep)>,
+) -> Vec<Figure> {
+    let duration = cfg.scale(SimDuration::from_secs(60), SimDuration::from_secs(200));
+    let warmup = cfg.scale(SimDuration::from_secs(15), SimDuration::from_secs(30));
+    let mut columns = vec!["point".to_string()];
+    columns.extend(PROTOCOLS.iter().map(|s| s.to_string()));
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut fig_mp = Figure::new(
+        id_mp,
+        &format!("multipath goodput (Mbps) vs {what}, Cubic competitor on link 2"),
+        &col_refs,
+    );
+    let mut fig_sp = Figure::new(
+        id_sp,
+        &format!("single-path Cubic goodput (Mbps) vs {what}"),
+        &col_refs,
+    );
+    for (label, sweep) in &sweeps {
+        let link1 = match *sweep {
+            Sweep::Buffer(b) => LinkParams::paper_default().with_buffer(b),
+            Sweep::Loss(l) => LinkParams::paper_default().with_random_loss(l),
+        };
+        let mut row_mp = vec![label.clone()];
+        let mut row_sp = vec![label.clone()];
+        for proto in PROTOCOLS {
+            let sc = Scenario::new(
+                splitmix64(cfg.seed ^ splitmix64(0x12C ^ label.len() as u64)),
+                vec![link1, LinkParams::paper_default()],
+                vec![
+                    ConnSpec::bulk(proto, vec![0, 1]),
+                    ConnSpec::bulk("cubic", vec![1]),
+                ],
+            )
+            .with_duration(duration, warmup);
+            let summaries = run_seeds(&sc, cfg.runs());
+            row_mp.push(f2(summaries[0].mean));
+            row_sp.push(f2(summaries[1].mean));
+        }
+        fig_mp.row(row_mp);
+        fig_sp.row(row_sp);
+    }
+    fig_sp.note("friendliness check: Cubic should retain well over 50% of link 2 (§7.2.6)");
+    vec![fig_mp, fig_sp]
+}
+
+/// Fig. 12 (buffer sweep).
+pub fn run_fig12(cfg: &ExpConfig) -> Vec<Figure> {
+    let buffers: Vec<u64> = if cfg.full {
+        vec![3_000, 9_000, 30_000, 60_000, 150_000, 375_000, 1_000_000, 10_000_000]
+    } else {
+        vec![9_000, 60_000, 375_000, 1_000_000]
+    };
+    let sweeps = buffers
+        .into_iter()
+        .map(|b| (format!("{}KB", b / 1000), Sweep::Buffer(b)))
+        .collect();
+    run_sweep(cfg, "fig12a", "fig12b", "link-1 buffer", sweeps)
+}
+
+/// Fig. 13 (random-loss sweep).
+pub fn run_fig13(cfg: &ExpConfig) -> Vec<Figure> {
+    let losses: Vec<f64> = if cfg.full {
+        vec![1e-5, 1e-4, 1e-3, 1e-2, 3e-2, 1e-1]
+    } else {
+        vec![1e-4, 1e-3, 1e-2, 1e-1]
+    };
+    let sweeps = losses
+        .into_iter()
+        .map(|l| (format!("{}%", l * 100.0), Sweep::Loss(l)))
+        .collect();
+    run_sweep(cfg, "fig13a", "fig13b", "link-1 random loss", sweeps)
+}

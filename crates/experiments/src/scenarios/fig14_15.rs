@@ -1,0 +1,166 @@
+//! Table 1 + Fig. 14/15: the 24² = 576-configuration parameter grid.
+//!
+//! Each link independently takes every combination of Table 1's values
+//! (bandwidth 50/500 Mbps, latency 10/100 ms, loss 0/0.1/0.001%, buffer
+//! 50/700 KB). For every configuration, MPCC-latency, LIA and OLIA run on
+//! topology 3c (Fig. 14) or 3d (Fig. 15), and the figures report the
+//! distribution of the MPCC/LIA and MPCC/OLIA ratios of bandwidth
+//! utilization and Jain fairness.
+//!
+//! Reduced mode samples every 9th configuration (64 of 576) and shortens
+//! runs; `--full` runs the complete grid at paper durations.
+
+use crate::output::{f3, Figure};
+use crate::runner::{run as run_scenario, ConnSpec, Scenario};
+use crate::ExpConfig;
+use mpcc_metrics::Summary;
+use mpcc_netsim::link::LinkParams;
+use mpcc_simcore::rng::splitmix64;
+use mpcc_simcore::{Rate, SimDuration};
+
+/// Table 1's per-link options: 2 × 2 × 3 × 2 = 24 combinations per link.
+fn link_options() -> Vec<LinkParams> {
+    let mut out = Vec::new();
+    for &bw in &[50.0, 500.0] {
+        for &lat_ms in &[10u64, 100] {
+            for &loss in &[0.0, 0.001, 0.00001] {
+                for &buf_kb in &[50u64, 700] {
+                    out.push(LinkParams {
+                        capacity: Rate::from_mbps(bw),
+                        delay: SimDuration::from_millis(lat_ms),
+                        buffer: buf_kb * 1000,
+                        random_loss: loss,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+struct ConfigOutcome {
+    utilization: f64,
+    jain: f64,
+}
+
+fn run_config(
+    cfg: &ExpConfig,
+    proto: &str,
+    links: (LinkParams, LinkParams),
+    topology_3d: bool,
+    idx: usize,
+) -> ConfigOutcome {
+    let duration = cfg.scale(SimDuration::from_secs(25), SimDuration::from_secs(120));
+    let warmup = cfg.scale(SimDuration::from_secs(8), SimDuration::from_secs(30));
+    let sp = crate::protocols::single_path_peer(proto);
+    let conns = if topology_3d {
+        vec![
+            ConnSpec::bulk(proto, vec![0, 1]),
+            ConnSpec::bulk(sp, vec![0]),
+            ConnSpec::bulk(sp, vec![1]),
+        ]
+    } else {
+        vec![
+            ConnSpec::bulk(proto, vec![0, 1]),
+            ConnSpec::bulk(sp, vec![1]),
+        ]
+    };
+    let sc = Scenario::new(
+        splitmix64(cfg.seed ^ splitmix64(0x1415 + idx as u64)),
+        vec![links.0, links.1],
+        conns,
+    )
+    .with_duration(duration, warmup)
+    .with_sampling(SimDuration::from_secs(1));
+    let result = run_scenario(&sc);
+    let capacity = links.0.capacity.mbps() + links.1.capacity.mbps();
+    ConfigOutcome {
+        utilization: result.utilization(capacity),
+        jain: result.jain(),
+    }
+}
+
+fn ratio_stats(fig: &mut Figure, label: &str, ratios: &[f64]) {
+    let s = Summary::of(ratios);
+    fig.row(vec![
+        label.to_string(),
+        f3(s.mean),
+        f3(s.median()),
+        f3(s.percentile(5.0)),
+        f3(s.percentile(95.0)),
+    ]);
+}
+
+fn run_grid(cfg: &ExpConfig, id: &str, topology_3d: bool) -> Vec<Figure> {
+    let options = link_options();
+    let mut configs: Vec<(usize, LinkParams, LinkParams)> = Vec::new();
+    let mut idx = 0usize;
+    for &l0 in &options {
+        for &l1 in &options {
+            configs.push((idx, l0, l1));
+            idx += 1;
+        }
+    }
+    let stride = if cfg.full { 1 } else { 9 };
+    let sampled: Vec<_> = configs.into_iter().step_by(stride).collect();
+
+    let mut util_vs_lia = Vec::new();
+    let mut util_vs_olia = Vec::new();
+    let mut jain_vs_lia = Vec::new();
+    let mut jain_vs_olia = Vec::new();
+    let mut worst: Vec<(f64, usize)> = Vec::new();
+    for &(i, l0, l1) in &sampled {
+        let mpcc = run_config(cfg, "mpcc-latency", (l0, l1), topology_3d, i);
+        let lia = run_config(cfg, "lia", (l0, l1), topology_3d, i);
+        let olia = run_config(cfg, "olia", (l0, l1), topology_3d, i);
+        let guard = |v: f64| v.max(1e-3);
+        util_vs_lia.push(guard(mpcc.utilization) / guard(lia.utilization));
+        util_vs_olia.push(guard(mpcc.utilization) / guard(olia.utilization));
+        jain_vs_lia.push(guard(mpcc.jain) / guard(lia.jain));
+        jain_vs_olia.push(guard(mpcc.jain) / guard(olia.jain));
+        worst.push((*util_vs_lia.last().expect("pushed"), i));
+    }
+
+    let topo = if topology_3d { "3d" } else { "3c" };
+    let mut fig = Figure::new(
+        id,
+        &format!(
+            "MPCC-latency vs LIA/OLIA over the Table 1 grid, topology {topo} ({} configs)",
+            sampled.len()
+        ),
+        &["ratio", "mean", "median", "p5", "p95"],
+    );
+    ratio_stats(&mut fig, "utilization_vs_lia", &util_vs_lia);
+    ratio_stats(&mut fig, "utilization_vs_olia", &util_vs_olia);
+    ratio_stats(&mut fig, "fairness_vs_lia", &jain_vs_lia);
+    ratio_stats(&mut fig, "fairness_vs_olia", &jain_vs_olia);
+    if !cfg.full {
+        fig.note("reduced mode: every 9th of the 576 configurations; pass --full for the whole grid");
+    }
+    // Surface the worst configuration for the §7.2.7 discussion.
+    worst.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+    if let Some(&(r, i)) = worst.first() {
+        let options = link_options();
+        let (a, b) = (i / options.len(), i % options.len());
+        fig.note(format!(
+            "worst utilization ratio {:.2} at config {}: link1 {:.0}Mbps/{}ms, link2 {:.0}Mbps/{}ms (cf. §7.2.7 bandwidth-asymmetry discussion)",
+            r,
+            i,
+            options[a].capacity.mbps(),
+            options[a].delay.as_millis_f64(),
+            options[b].capacity.mbps(),
+            options[b].delay.as_millis_f64(),
+        ));
+    }
+    vec![fig]
+}
+
+/// Fig. 14 (topology 3c).
+pub fn run_fig14(cfg: &ExpConfig) -> Vec<Figure> {
+    run_grid(cfg, "fig14", false)
+}
+
+/// Fig. 15 (topology 3d).
+pub fn run_fig15(cfg: &ExpConfig) -> Vec<Figure> {
+    run_grid(cfg, "fig15", true)
+}

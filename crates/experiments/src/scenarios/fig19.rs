@@ -1,0 +1,182 @@
+//! Fig. 19: flow completion times on the data-center testbed (Fig. 18).
+//!
+//! The testbed is a 2-spine/4-ToR Clos with 25 Gbps links, 6 hosts, ECMP,
+//! and per host: 15×10 GB + 35×10 MB flows at t=0 plus one 10 KB flow per
+//! second for a minute, all as 3-subflow multipath connections. We scale
+//! the fabric and the workload down by ~10× (2.5 Gbps links; 25 MB / 1 MB /
+//! 10 KB flow classes, proportionally fewer flows) — FCT *orderings*
+//! between protocols are preserved under proportional scaling because they
+//! are driven by ramp-up and retransmission behaviour relative to the BDP
+//! (see DESIGN.md §1).
+
+use crate::output::{f3, Figure};
+use crate::protocols;
+use crate::ExpConfig;
+use mpcc_metrics::Summary;
+use mpcc_netsim::topology::{Clos, ClosConfig};
+use mpcc_simcore::rng::splitmix64;
+use mpcc_simcore::{SimDuration, SimRng, SimTime};
+use mpcc_transport::{MpReceiver, MpSender, SenderConfig, Workload};
+
+const PROTOCOLS: [&str; 7] = [
+    "mpcc-latency",
+    "mpcc-loss",
+    "cubic",
+    "lia",
+    "olia",
+    "balia",
+    "wvegas",
+];
+
+struct FlowSpec {
+    src: usize,
+    dst: usize,
+    bytes: u64,
+    start: SimTime,
+    class: usize, // 0 short, 1 medium, 2 long
+}
+
+/// The scaled workload (shared across protocols via the seed).
+fn workload(cfg: &ExpConfig, hosts: usize, seed: u64) -> Vec<FlowSpec> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let (n_long, n_med, n_short) = cfg.scale((2, 5, 8), (4, 10, 20));
+    let (long_b, med_b, short_b) = (cfg.scale(50_000_000u64, 200_000_000), 1_000_000u64, 10_000u64);
+    let mut flows = Vec::new();
+    let pick_dst = |src: usize, rng: &mut SimRng| loop {
+        let d = rng.index(hosts);
+        if d != src {
+            return d;
+        }
+    };
+    for src in 0..hosts {
+        // Bulk flows start within the first second (desynchronized, as
+        // real applications would) rather than at the same instant.
+        for _ in 0..n_long {
+            let dst = pick_dst(src, &mut rng);
+            let start = SimTime::from_millis(rng.range_u64(0, 1000));
+            flows.push(FlowSpec {
+                src,
+                dst,
+                bytes: long_b,
+                start,
+                class: 2,
+            });
+        }
+        for _ in 0..n_med {
+            let dst = pick_dst(src, &mut rng);
+            let start = SimTime::from_millis(rng.range_u64(0, 1000));
+            flows.push(FlowSpec {
+                src,
+                dst,
+                bytes: med_b,
+                start,
+                class: 1,
+            });
+        }
+        for i in 0..n_short {
+            let dst = pick_dst(src, &mut rng);
+            flows.push(FlowSpec {
+                src,
+                dst,
+                bytes: short_b,
+                start: SimTime::from_secs(i as u64 + 1),
+                class: 0,
+            });
+        }
+    }
+    flows
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
+    let class_names = ["10KB", "1MB", "50MB"];
+    let mut figs = Vec::new();
+    let mut per_class: Vec<Figure> = class_names
+        .iter()
+        .map(|c| {
+            Figure::new(
+                &format!("fig19-{c}"),
+                &format!("FCT (ms) of {c} flows on the scaled Clos testbed"),
+                &["protocol", "mean", "p1", "p5", "median", "p95", "p99"],
+            )
+        })
+        .collect();
+
+    for proto in PROTOCOLS {
+        let seed = splitmix64(cfg.seed ^ 0x1919);
+        let mut clos = Clos::new(
+            seed,
+            ClosConfig {
+                link_capacity: mpcc_simcore::Rate::from_gbps(1.25),
+                buffer: 2_000_000,
+                ..ClosConfig::default()
+            },
+        );
+        let hosts = clos.hosts();
+        let flows = workload(cfg, hosts, splitmix64(seed ^ 1));
+        let mut senders = Vec::new();
+        // Paths must be registered before endpoints run; collect first.
+        let flow_paths: Vec<_> = flows
+            .iter()
+            .map(|f| clos.subflow_paths(f.src, f.dst, 3))
+            .collect();
+        let mut sim = clos.sim;
+        for (i, flow) in flows.iter().enumerate() {
+            let recv = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
+            let cc = protocols::make(proto, splitmix64(seed ^ (0x5EED + i as u64)));
+            let cfg_s = SenderConfig {
+                dst: recv,
+                paths: flow_paths[i].clone(),
+                workload: Workload::Finite(flow.bytes),
+                scheduler: protocols::scheduler_for(proto),
+                start_at: flow.start,
+                peer_buffer: 300_000_000,
+            };
+            senders.push(sim.add_endpoint(Box::new(MpSender::new(cfg_s, cc))));
+        }
+        // Run until all flows complete (or a hard cap).
+        let cap = SimTime::from_secs(cfg.scale(120, 300));
+        let mut t = SimTime::ZERO;
+        loop {
+            t += SimDuration::from_secs(1);
+            sim.run_until(t);
+            let done = senders
+                .iter()
+                .all(|&s| sim.endpoint::<MpSender>(s).is_complete());
+            if done || t >= cap {
+                break;
+            }
+        }
+        // Collect per-class FCTs.
+        let mut fcts: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        let mut incomplete = 0;
+        for (i, flow) in flows.iter().enumerate() {
+            match sim.endpoint::<MpSender>(senders[i]).fct() {
+                Some(d) => fcts[flow.class].push(d.as_secs_f64() * 1000.0),
+                None => incomplete += 1,
+            }
+        }
+        for (class, fig) in per_class.iter_mut().enumerate() {
+            let s = Summary::of(&fcts[class]);
+            fig.row(vec![
+                proto.to_string(),
+                f3(s.mean),
+                f3(s.percentile(1.0)),
+                f3(s.percentile(5.0)),
+                f3(s.median()),
+                f3(s.percentile(95.0)),
+                f3(s.percentile(99.0)),
+            ]);
+        }
+        if incomplete > 0 {
+            per_class[2].note(format!(
+                "{proto}: {incomplete} flows had not completed at the {cap}-second cap"
+            ));
+        }
+    }
+    for mut fig in per_class {
+        fig.note("fabric scaled 20×: 1.25 Gbps links, 8 hosts, flow classes 10KB/1MB/50MB, 3 subflows via ECMP");
+        figs.push(fig);
+    }
+    figs
+}

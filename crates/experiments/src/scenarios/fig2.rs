@@ -1,0 +1,61 @@
+//! Fig. 2: the gradient field of the per-subflow utility functions on a
+//! shared link (MPCC₂ whose other subflow owns a full link, vs a
+//! single-path PCC), and the fluid-model trajectory to the LMMF
+//! equilibrium (the figure's red dot at PCC = link capacity).
+
+use crate::output::{f2, f3, Figure};
+use crate::ExpConfig;
+use mpcc::theory::{fig2_gradients, fluid_converge, totals, ParallelNetSpec};
+use mpcc::UtilityParams;
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
+    let p = UtilityParams::mpcc_loss();
+    let cap = 100.0;
+
+    let mut field = Figure::new(
+        "fig2",
+        "utility-derivative field on the shared link (x = MPCC2 subflow rate, y = PCC rate)",
+        &["x_mbps", "y_mbps", "dU_mpcc_dx", "dU_pcc_dy"],
+    );
+    let step = cfg.scale(20.0, 10.0);
+    let mut y = step;
+    while y <= 140.0 {
+        let mut x = step;
+        while x <= 140.0 {
+            let (gm, gp) = fig2_gradients(&p, cap, x, y);
+            field.row(vec![f2(x), f2(y), f3(gm), f3(gp)]);
+            x += step;
+        }
+        y += step;
+    }
+    field.note("positive derivatives below capacity; PCC's exceeds MPCC's (it has no bandwidth elsewhere)");
+
+    // The trajectory the arrows trace: fluid dynamics from a low start.
+    let spec = ParallelNetSpec {
+        capacities: vec![cap, cap],
+        conns: vec![vec![0, 1], vec![0]],
+    };
+    let mut traj = Figure::new(
+        "fig2-trajectory",
+        "fluid-model trajectory to the equilibrium (red dot)",
+        &["iterations", "mpcc_shared_mbps", "mpcc_own_mbps", "pcc_mbps"],
+    );
+    let start = vec![vec![10.0, 10.0], vec![10.0]];
+    for &iters in &[0usize, 100, 500, 2000, 10_000, 40_000] {
+        let rates = fluid_converge(&p, &spec, &start, iters, 0.5);
+        traj.row(vec![
+            iters.to_string(),
+            f2(rates[0][0]),
+            f2(rates[0][1]),
+            f2(rates[1][0]),
+        ]);
+    }
+    let final_rates = fluid_converge(&p, &spec, &start, 40_000, 0.5);
+    let t = totals(&final_rates);
+    traj.note(format!(
+        "equilibrium: PCC fully utilizes the shared link (paper's red dot); totals = {:.1}/{:.1} Mbps",
+        t[0], t[1]
+    ));
+    vec![field, traj]
+}

@@ -1,0 +1,163 @@
+//! Fig. 5 (shallow buffers) and Fig. 6 (random loss).
+//!
+//! * Fig. 5a / 6a — topology 3b: one multipath connection over two links;
+//!   link 1's buffer (5a) or random-loss rate (6a) is swept; the figure
+//!   plots the multipath connection's goodput.
+//! * Fig. 5b / 6b — topology 3c: the multipath connection additionally
+//!   competes with a single-path connection on link 2 (Vivace against
+//!   MPCC, Reno against MPTCP, per §7.2.1); the figure plots the
+//!   single-path connection's goodput.
+
+use crate::output::{f2, Figure};
+use crate::protocols::{single_path_peer, MULTIPATH_PROTOCOLS};
+use crate::runner::{run_seeds, ConnSpec, Scenario};
+use crate::ExpConfig;
+use mpcc_netsim::link::LinkParams;
+use mpcc_simcore::rng::splitmix64;
+use mpcc_simcore::SimDuration;
+
+fn durations(cfg: &ExpConfig) -> (SimDuration, SimDuration) {
+    (
+        cfg.scale(SimDuration::from_secs(60), SimDuration::from_secs(200)),
+        cfg.scale(SimDuration::from_secs(15), SimDuration::from_secs(30)),
+    )
+}
+
+/// Buffer sweep points for link 1, bytes (the paper sweeps 3–375 KB, log
+/// scale; its x-axis extends to 10 MB-class buffers for Fig. 12).
+fn buffer_points(cfg: &ExpConfig) -> Vec<u64> {
+    if cfg.full {
+        vec![3_000, 6_000, 9_000, 15_000, 30_000, 60_000, 120_000, 375_000]
+    } else {
+        vec![3_000, 9_000, 30_000, 60_000, 150_000, 375_000]
+    }
+}
+
+/// Random-loss sweep points for link 1 (fraction).
+fn loss_points(cfg: &ExpConfig) -> Vec<f64> {
+    if cfg.full {
+        vec![1e-5, 1e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1]
+    } else {
+        vec![1e-5, 1e-4, 1e-3, 1e-2, 5e-2, 1e-1]
+    }
+}
+
+enum Sweep {
+    Buffer(u64),
+    Loss(f64),
+}
+
+fn link1(sweep: &Sweep) -> LinkParams {
+    match *sweep {
+        Sweep::Buffer(b) => LinkParams::paper_default().with_buffer(b),
+        Sweep::Loss(l) => LinkParams::paper_default().with_random_loss(l),
+    }
+}
+
+/// Runs one sweep on topology 3b (multipath alone) and reports the
+/// multipath connection's goodput per protocol.
+fn sweep_3b(cfg: &ExpConfig, id: &str, title: &str, sweeps: Vec<(String, Sweep)>) -> Figure {
+    let mut columns = vec!["point".to_string()];
+    columns.extend(MULTIPATH_PROTOCOLS.iter().map(|s| s.to_string()));
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut fig = Figure::new(id, title, &col_refs);
+    let (duration, warmup) = durations(cfg);
+    for (label, sweep) in &sweeps {
+        let mut row = vec![label.clone()];
+        for proto in MULTIPATH_PROTOCOLS {
+            let sc = Scenario::new(
+                splitmix64(cfg.seed ^ splitmix64(label.len() as u64)),
+                vec![link1(sweep), LinkParams::paper_default()],
+                vec![ConnSpec::bulk(proto, vec![0, 1])],
+            )
+            .with_duration(duration, warmup);
+            let summary = run_seeds(&sc, cfg.runs());
+            row.push(f2(summary[0].mean));
+        }
+        fig.row(row);
+    }
+    fig
+}
+
+/// Runs one sweep on topology 3c and reports the *single-path* peer's
+/// goodput per multipath protocol.
+fn sweep_3c(cfg: &ExpConfig, id: &str, title: &str, sweeps: Vec<(String, Sweep)>) -> Figure {
+    let mut columns = vec!["point".to_string()];
+    columns.extend(MULTIPATH_PROTOCOLS.iter().map(|s| s.to_string()));
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut fig = Figure::new(id, title, &col_refs);
+    let (duration, warmup) = durations(cfg);
+    for (label, sweep) in &sweeps {
+        let mut row = vec![label.clone()];
+        for proto in MULTIPATH_PROTOCOLS {
+            let sc = Scenario::new(
+                splitmix64(cfg.seed ^ splitmix64(0xB0B ^ label.len() as u64)),
+                vec![link1(sweep), LinkParams::paper_default()],
+                vec![
+                    ConnSpec::bulk(proto, vec![0, 1]),
+                    ConnSpec::bulk(single_path_peer(proto), vec![1]),
+                ],
+            )
+            .with_duration(duration, warmup);
+            let summary = run_seeds(&sc, cfg.runs());
+            row.push(f2(summary[1].mean));
+        }
+        fig.row(row);
+    }
+    fig.note("single-path peer: Vivace for MPCC, BBR for bbr, Reno otherwise (§7.2.1)");
+    fig
+}
+
+fn buffer_sweeps(cfg: &ExpConfig) -> Vec<(String, Sweep)> {
+    buffer_points(cfg)
+        .into_iter()
+        .map(|b| (format!("{}KB", b / 1000), Sweep::Buffer(b)))
+        .collect()
+}
+
+fn loss_sweeps(cfg: &ExpConfig) -> Vec<(String, Sweep)> {
+    loss_points(cfg)
+        .into_iter()
+        .map(|l| (format!("{}%", l * 100.0), Sweep::Loss(l)))
+        .collect()
+}
+
+/// Fig. 5a.
+pub fn run_fig5a(cfg: &ExpConfig) -> Vec<Figure> {
+    vec![sweep_3b(
+        cfg,
+        "fig5a",
+        "multipath goodput (Mbps) vs link-1 buffer, topology 3b",
+        buffer_sweeps(cfg),
+    )]
+}
+
+/// Fig. 5b.
+pub fn run_fig5b(cfg: &ExpConfig) -> Vec<Figure> {
+    vec![sweep_3c(
+        cfg,
+        "fig5b",
+        "single-path goodput (Mbps) vs link-1 buffer, topology 3c",
+        buffer_sweeps(cfg),
+    )]
+}
+
+/// Fig. 6a.
+pub fn run_fig6a(cfg: &ExpConfig) -> Vec<Figure> {
+    vec![sweep_3b(
+        cfg,
+        "fig6a",
+        "multipath goodput (Mbps) vs link-1 random loss, topology 3b",
+        loss_sweeps(cfg),
+    )]
+}
+
+/// Fig. 6b.
+pub fn run_fig6b(cfg: &ExpConfig) -> Vec<Figure> {
+    vec![sweep_3c(
+        cfg,
+        "fig6b",
+        "single-path goodput (Mbps) vs link-1 random loss, topology 3c",
+        loss_sweeps(cfg),
+    )]
+}

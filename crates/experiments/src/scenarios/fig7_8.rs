@@ -1,0 +1,163 @@
+//! Fig. 7/8: adaptation to changing network conditions on topology 3c.
+//!
+//! Link 1's bandwidth, latency and random loss are re-randomized every
+//! 30 s (bandwidth 10–100 Mbps, latency 10–100 ms, loss 0.01–0.1%). Fig. 7
+//! plots the multipath connection's subflow throughput on link 1 against
+//! the link bandwidth (the optimum); Fig. 8 plots the single-path peer's
+//! throughput on link 2 against its LMMF fair share. We additionally
+//! report each protocol's mean absolute tracking error.
+
+use crate::output::{f2, Figure};
+use crate::protocols::single_path_peer;
+use crate::runner::{run as run_scenario, ConnSpec, Scenario};
+use crate::ExpConfig;
+use mpcc::theory::{lmmf_allocation, ParallelNetSpec};
+use mpcc_netsim::link::LinkParams;
+use mpcc_simcore::rng::splitmix64;
+use mpcc_simcore::{Rate, SimDuration, SimRng, SimTime};
+
+const PROTOCOLS: [&str; 6] = ["mpcc-latency", "reno", "lia", "olia", "balia", "wvegas"];
+
+/// The random link-1 schedule of §7.2.3 (shared across protocols so the
+/// comparison is like-for-like).
+fn schedule(cfg: &ExpConfig, total: SimDuration) -> Vec<(SimTime, LinkParams)> {
+    let mut rng = SimRng::seed_from_u64(splitmix64(cfg.seed ^ 0x716));
+    let mut out = Vec::new();
+    let mut t = SimTime::ZERO;
+    while t < SimTime::ZERO + total {
+        let params = LinkParams::paper_default()
+            .with_capacity(Rate::from_mbps(rng.range_f64(10.0, 100.0)))
+            .with_delay(SimDuration::from_millis(rng.range_u64(10, 100)))
+            .with_random_loss(rng.range_f64(0.0001, 0.001));
+        out.push((t, params));
+        t += SimDuration::from_secs(30);
+    }
+    out
+}
+
+/// Runs the experiment.
+pub fn run_experiment(cfg: &ExpConfig) -> Vec<Figure> {
+    let total = cfg.scale(SimDuration::from_secs(450), SimDuration::from_secs(1440));
+    let sched = schedule(cfg, total);
+    let sample = SimDuration::from_secs(5);
+
+    let mut fig7 = Figure::new(
+        "fig7",
+        "multipath subflow throughput on changing link 1 (Mbps), topology 3c",
+        &(["t_sec", "OPT"]
+            .iter()
+            .map(|s| *s)
+            .chain(PROTOCOLS.iter().copied())
+            .collect::<Vec<_>>()),
+    );
+    let mut fig8 = Figure::new(
+        "fig8",
+        "single-path throughput vs LMMF fair share on link 2 (Mbps), topology 3c",
+        &(["t_sec", "FAIR"]
+            .iter()
+            .map(|s| *s)
+            .chain(PROTOCOLS.iter().copied())
+            .collect::<Vec<_>>()),
+    );
+    let mut errs = Figure::new(
+        "fig7-tracking",
+        "mean absolute tracking error vs optimum (Mbps) — lower is better",
+        &(["metric"]
+            .iter()
+            .map(|s| *s)
+            .chain(PROTOCOLS.iter().copied())
+            .collect::<Vec<_>>()),
+    );
+
+    // Per-protocol runs over the same schedule.
+    let mut sf_series: Vec<Vec<f64>> = Vec::new();
+    let mut sp_series: Vec<Vec<f64>> = Vec::new();
+    for proto in PROTOCOLS {
+        let mut sc = Scenario::new(
+            splitmix64(cfg.seed ^ splitmix64(0xF78)),
+            vec![LinkParams::paper_default(), LinkParams::paper_default()],
+            vec![
+                ConnSpec::bulk(proto, vec![0, 1]),
+                ConnSpec::bulk(single_path_peer(proto), vec![1]),
+            ],
+        )
+        .with_duration(total, SimDuration::from_secs(30))
+        .with_sampling(sample);
+        sc.link_changes = sched.iter().map(|&(t, p)| (t, 0, p)).collect();
+        let result = run_scenario(&sc);
+        sf_series.push(
+            result.conns[0].subflow_series[0]
+                .points()
+                .iter()
+                .map(|p| p.mbps)
+                .collect(),
+        );
+        sp_series.push(
+            result.conns[1]
+                .series
+                .points()
+                .iter()
+                .map(|p| p.mbps)
+                .collect(),
+        );
+    }
+
+    // Oracle series.
+    let n_samples = sf_series.iter().map(Vec::len).min().unwrap_or(0);
+    let mut opt = Vec::with_capacity(n_samples);
+    let mut fair = Vec::with_capacity(n_samples);
+    for i in 0..n_samples {
+        let t = SimTime::ZERO + sample.mul_f64((i + 1) as f64);
+        let bw1 = sched
+            .iter()
+            .rev()
+            .find(|&&(ts, _)| ts <= t)
+            .map(|&(_, p)| p.capacity.mbps())
+            .unwrap_or(100.0);
+        opt.push(bw1);
+        // LMMF on (bw1, 100): SP's fair share on link 2.
+        let spec = ParallelNetSpec {
+            capacities: vec![bw1, 100.0],
+            conns: vec![vec![0, 1], vec![1]],
+        };
+        fair.push(lmmf_allocation(&spec)[1]);
+    }
+
+    for i in 0..n_samples {
+        let t = ((i + 1) as f64) * sample.as_secs_f64();
+        let mut row7 = vec![f2(t), f2(opt[i])];
+        let mut row8 = vec![f2(t), f2(fair[i])];
+        for p in 0..PROTOCOLS.len() {
+            row7.push(f2(sf_series[p][i]));
+            row8.push(f2(sp_series[p][i]));
+        }
+        fig7.row(row7);
+        fig8.row(row8);
+    }
+
+    let skip = (30.0 / sample.as_secs_f64()) as usize; // warmup samples
+    let mut err7 = vec!["subflow_vs_OPT".to_string()];
+    let mut err8 = vec!["singlepath_vs_FAIR".to_string()];
+    for p in 0..PROTOCOLS.len() {
+        let e7: f64 = (skip..n_samples)
+            .map(|i| (sf_series[p][i] - opt[i]).abs())
+            .sum::<f64>()
+            / (n_samples - skip).max(1) as f64;
+        let e8: f64 = (skip..n_samples)
+            .map(|i| (sp_series[p][i] - fair[i]).abs())
+            .sum::<f64>()
+            / (n_samples - skip).max(1) as f64;
+        err7.push(f2(e7));
+        err8.push(f2(e8));
+    }
+    errs.row(err7);
+    errs.row(err8);
+    errs.note("link 1 re-randomized every 30 s: bw 10-100 Mbps, delay 10-100 ms, loss 0.01-0.1%");
+
+    vec![fig7, fig8, errs]
+}
+
+/// Entry point used by the dispatcher.
+pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
+    run_experiment(cfg)
+}

@@ -1,0 +1,49 @@
+//! One module per reproduced experiment. See DESIGN.md §7 for the
+//! experiment index mapping figures to modules.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12_13;
+pub mod fig14_15;
+pub mod fig16_17;
+pub mod fig19;
+pub mod fig2;
+pub mod fig5_6;
+pub mod fig7_8;
+pub mod fig9;
+pub mod sched;
+
+use crate::output::Figure;
+use crate::ExpConfig;
+
+/// All experiment ids, in paper order (plus the §6 scheduler experiment
+/// and the design-choice ablations).
+pub const ALL: [&str; 18] = [
+    "fig2", "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "fig16", "fig19", "sched", "ablation",
+];
+
+/// Dispatches one experiment id; returns the produced figures.
+pub fn dispatch(id: &str, cfg: &ExpConfig) -> Vec<Figure> {
+    match id {
+        "fig2" => fig2::run(cfg),
+        "fig5a" => fig5_6::run_fig5a(cfg),
+        "fig5b" => fig5_6::run_fig5b(cfg),
+        "fig6a" => fig5_6::run_fig6a(cfg),
+        "fig6b" => fig5_6::run_fig6b(cfg),
+        "fig7" | "fig8" => fig7_8::run(cfg),
+        "fig9" => fig9::run(cfg),
+        "fig10" => fig10::run(cfg),
+        "fig11" => fig11::run(cfg),
+        "fig12" => fig12_13::run_fig12(cfg),
+        "fig13" => fig12_13::run_fig13(cfg),
+        "fig14" => fig14_15::run_fig14(cfg),
+        "fig15" => fig14_15::run_fig15(cfg),
+        "fig16" | "fig17" => fig16_17::run(cfg),
+        "fig19" => fig19::run(cfg),
+        "sched" => sched::run(cfg),
+        "ablation" => ablation::run(cfg),
+        other => panic!("unknown experiment id {other:?} (see `experiments list`)"),
+    }
+}

@@ -1,0 +1,14 @@
+//! # mpcc-metrics
+//!
+//! The evaluation metrics the paper reports: Jain's fairness index
+//! (Fig. 10a), link utilization (Fig. 10b), descriptive statistics with
+//! percentiles (Fig. 14/15/17/19), and time-series helpers for the
+//! throughput/latency plots (Fig. 7/8/9/11).
+
+#![warn(missing_docs)]
+
+pub mod series;
+pub mod stats;
+
+pub use series::{RateSeries, SeriesPoint};
+pub use stats::{jain_index, Summary};

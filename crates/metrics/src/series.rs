@@ -1,0 +1,163 @@
+//! Time-series helpers: turning cumulative byte counters sampled at fixed
+//! intervals into throughput series (the paper's Fig. 7/8/11), and summary
+//! measures over them (rate jitter, tracking error against an optimum).
+
+use mpcc_simcore::SimTime;
+
+/// One sample of a rate series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesPoint {
+    /// Sample time (end of the interval).
+    pub t: SimTime,
+    /// Rate over the preceding interval, Mbps.
+    pub mbps: f64,
+}
+
+/// A throughput time series built from cumulative byte counters.
+#[derive(Clone, Debug, Default)]
+pub struct RateSeries {
+    points: Vec<SeriesPoint>,
+    last: Option<(SimTime, u64)>,
+}
+
+impl RateSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds a cumulative byte counter observed at time `t`; records the
+    /// rate over the interval since the previous observation.
+    pub fn push_cumulative(&mut self, t: SimTime, bytes: u64) {
+        if let Some((t0, b0)) = self.last {
+            let dt = t.saturating_since(t0).as_secs_f64();
+            if dt > 0.0 {
+                let mbps = bytes.saturating_sub(b0) as f64 * 8.0 / dt / 1e6;
+                self.points.push(SeriesPoint { t, mbps });
+            }
+        }
+        self.last = Some((t, bytes));
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[SeriesPoint] {
+        &self.points
+    }
+
+    /// Mean rate over points with `t > from`.
+    pub fn mean_after(&self, from: SimTime) -> f64 {
+        let pts: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| p.t > from)
+            .map(|p| p.mbps)
+            .collect();
+        if pts.is_empty() {
+            0.0
+        } else {
+            pts.iter().sum::<f64>() / pts.len() as f64
+        }
+    }
+
+    /// Rate jitter: mean absolute difference between consecutive samples
+    /// (the §7.2.5 comparison), over points with `t > from`.
+    pub fn jitter_after(&self, from: SimTime) -> f64 {
+        let pts: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| p.t > from)
+            .map(|p| p.mbps)
+            .collect();
+        if pts.len() < 2 {
+            return 0.0;
+        }
+        pts.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (pts.len() - 1) as f64
+    }
+
+    /// Mean absolute tracking error against a reference series `opt`
+    /// (time-aligned by index) — how closely the sender follows the
+    /// optimal rate in Fig. 7/8.
+    pub fn tracking_error(&self, opt: &[f64]) -> f64 {
+        let n = self.points.len().min(opt.len());
+        if n == 0 {
+            return 0.0;
+        }
+        (0..n)
+            .map(|i| (self.points[i].mbps - opt[i]).abs())
+            .sum::<f64>()
+            / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn rates_from_cumulative_bytes() {
+        let mut s = RateSeries::new();
+        s.push_cumulative(t(0), 0);
+        s.push_cumulative(t(1000), 12_500_000); // 100 Mbps
+        s.push_cumulative(t(2000), 18_750_000); // +50 Mbps
+        let pts = s.points();
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].mbps - 100.0).abs() < 1e-9);
+        assert!((pts[1].mbps - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_after_skips_warmup() {
+        let mut s = RateSeries::new();
+        s.push_cumulative(t(0), 0);
+        for i in 1..=10u64 {
+            // 10 Mbps every second.
+            s.push_cumulative(t(i * 1000), i * 1_250_000);
+        }
+        assert!((s.mean_after(t(3000)) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_of_constant_series_is_zero() {
+        let mut s = RateSeries::new();
+        s.push_cumulative(t(0), 0);
+        for i in 1..=5u64 {
+            s.push_cumulative(t(i * 1000), i * 1_250_000);
+        }
+        assert_eq!(s.jitter_after(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn jitter_of_alternating_series() {
+        let mut s = RateSeries::new();
+        s.push_cumulative(t(0), 0);
+        let mut total = 0u64;
+        for i in 1..=6u64 {
+            total += if i % 2 == 0 { 2_500_000 } else { 1_250_000 };
+            s.push_cumulative(t(i * 1000), total);
+        }
+        // Rates alternate 10, 20, 10, 20... jitter = 10.
+        assert!((s.jitter_after(SimTime::ZERO) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracking_error_against_reference() {
+        let mut s = RateSeries::new();
+        s.push_cumulative(t(0), 0);
+        s.push_cumulative(t(1000), 1_250_000); // 10
+        s.push_cumulative(t(2000), 3_750_000); // 20
+        let err = s.tracking_error(&[12.0, 18.0]);
+        assert!((err - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_reset_does_not_underflow() {
+        let mut s = RateSeries::new();
+        s.push_cumulative(t(0), 1000);
+        s.push_cumulative(t(1000), 500); // saturates to 0 rate
+        assert_eq!(s.points()[0].mbps, 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # mpcc-netsim
+//!
+//! A packet-level, deterministic network simulator sized exactly to what the
+//! MPCC paper's Emulab/testbed evaluation controls: droptail links with
+//! configurable capacity, propagation delay, buffer size and random
+//! (non-congestion) loss; scheduled mid-run parameter changes; path-based
+//! routing; and topology builders for every network in the paper's Fig. 3,
+//! Fig. 4 and Fig. 18.
+//!
+//! Transport endpoints plug in via the [`Endpoint`] trait and interact with
+//! the network only through [`Ctx`] (send on a path, set a timer, draw
+//! randomness) — the same information boundary a real host has.
+
+#![warn(missing_docs)]
+
+pub mod ids;
+pub mod link;
+pub mod network;
+pub mod packet;
+pub mod topology;
+pub mod trace;
+
+pub use ids::{EndpointId, LinkId, PathId};
+pub use link::{Admission, Link, LinkParams, LinkStats};
+pub use network::{Ctx, Endpoint, Path, Simulation};
+pub use packet::{AckHeader, DataHeader, Header, Packet, SeqRange, ACK_SIZE, MSS_PAYLOAD, MSS_WIRE};

@@ -1,0 +1,316 @@
+//! Droptail link model.
+//!
+//! A [`Link`] is unidirectional: packets are admitted to a FIFO queue bounded
+//! in bytes (droptail), serialized one at a time at the link capacity, and
+//! then propagate for the link delay. Links can also drop packets at random
+//! with a configurable probability, modelling non-congestion loss (§7.2.2 of
+//! the paper), and their parameters can change mid-run (§7.2.3).
+
+use crate::packet::Packet;
+use mpcc_simcore::{Rate, SimDuration, SimRng, SimTime};
+use std::collections::VecDeque;
+
+/// The four per-link knobs the paper's Emulab setup exposes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkParams {
+    /// Serialization capacity.
+    pub capacity: Rate,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Droptail queue limit, in bytes.
+    pub buffer: u64,
+    /// Probability that an admitted packet is dropped at random
+    /// (non-congestion loss), in `[0, 1]`.
+    pub random_loss: f64,
+}
+
+impl LinkParams {
+    /// The paper's default link: 100 Mbps, 30 ms, buffer = 1 BDP (375 KB),
+    /// no random loss.
+    pub fn paper_default() -> Self {
+        LinkParams {
+            capacity: Rate::from_mbps(100.0),
+            delay: SimDuration::from_millis(30),
+            buffer: 375_000,
+            random_loss: 0.0,
+        }
+    }
+
+    /// Replaces the capacity.
+    pub fn with_capacity(mut self, capacity: Rate) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Replaces the propagation delay.
+    pub fn with_delay(mut self, delay: SimDuration) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Replaces the buffer size (bytes).
+    pub fn with_buffer(mut self, buffer: u64) -> Self {
+        self.buffer = buffer;
+        self
+    }
+
+    /// Replaces the random-loss probability.
+    pub fn with_random_loss(mut self, p: f64) -> Self {
+        self.random_loss = p.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// Counters a link accumulates over a run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinkStats {
+    /// Packets admitted to the queue.
+    pub enqueued: u64,
+    /// Packets dropped because the queue was full.
+    pub dropped_overflow: u64,
+    /// Packets dropped by the random-loss process.
+    pub dropped_random: u64,
+    /// Packets that completed serialization.
+    pub delivered_packets: u64,
+    /// Bytes that completed serialization.
+    pub delivered_bytes: u64,
+}
+
+/// Outcome of offering a packet to a link.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Packet queued; the link was idle, so serialization of this packet
+    /// starts now and completes at the contained time.
+    StartTx(SimTime),
+    /// Packet queued behind others; a completion event is already pending.
+    Queued,
+    /// Packet dropped (droptail overflow or random loss).
+    Dropped,
+}
+
+/// A unidirectional droptail link.
+pub struct Link {
+    params: LinkParams,
+    queue: VecDeque<Packet>,
+    queued_bytes: u64,
+    /// `true` while a serialization-completion event is outstanding.
+    transmitting: bool,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Creates an idle link with the given parameters.
+    pub fn new(params: LinkParams) -> Self {
+        Link {
+            params,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            transmitting: false,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Current parameters.
+    pub fn params(&self) -> LinkParams {
+        self.params
+    }
+
+    /// Applies a parameter change (takes effect for subsequent packets;
+    /// a packet already being serialized keeps its old completion time).
+    pub fn set_params(&mut self, params: LinkParams) {
+        self.params = params;
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Bytes currently queued (excludes the packet being serialized).
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// Packets currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Offers `pkt` to the link at time `now`.
+    ///
+    /// The caller must schedule a serialization-completion event at the time
+    /// inside [`Admission::StartTx`]; on that event it calls
+    /// [`Link::complete_tx`].
+    pub fn admit(&mut self, pkt: Packet, now: SimTime, rng: &mut SimRng) -> Admission {
+        if self.params.random_loss > 0.0 && rng.chance(self.params.random_loss) {
+            self.stats.dropped_random += 1;
+            return Admission::Dropped;
+        }
+        if self.queued_bytes + pkt.size > self.params.buffer {
+            self.stats.dropped_overflow += 1;
+            return Admission::Dropped;
+        }
+        self.stats.enqueued += 1;
+        self.queued_bytes += pkt.size;
+        self.queue.push_back(pkt);
+        if self.transmitting {
+            Admission::Queued
+        } else {
+            self.transmitting = true;
+            let head = self.queue.front().expect("just pushed");
+            Admission::StartTx(now + self.params.capacity.serialize_time(head.size))
+        }
+    }
+
+    /// Completes serialization of the head packet at time `now`.
+    ///
+    /// Returns the packet (which now propagates for [`Link::delay`]) and, if
+    /// more packets are queued, the completion time of the next one, for
+    /// which the caller must schedule another completion event.
+    pub fn complete_tx(&mut self, now: SimTime) -> (Packet, Option<SimTime>) {
+        debug_assert!(self.transmitting);
+        let pkt = self
+            .queue
+            .pop_front()
+            .expect("complete_tx with empty queue");
+        self.queued_bytes -= pkt.size;
+        self.stats.delivered_packets += 1;
+        self.stats.delivered_bytes += pkt.size;
+        let next = match self.queue.front() {
+            Some(head) => Some(now + self.params.capacity.serialize_time(head.size)),
+            None => {
+                self.transmitting = false;
+                None
+            }
+        };
+        (pkt, next)
+    }
+
+    /// One-way propagation delay (current parameters).
+    pub fn delay(&self) -> SimDuration {
+        self.params.delay
+    }
+
+    /// Queueing delay a packet admitted right now would experience before
+    /// starting serialization, assuming current capacity.
+    pub fn queue_delay(&self) -> SimDuration {
+        self.params.capacity.serialize_time(self.queued_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{EndpointId, PathId};
+    use crate::packet::{Header, DataHeader, MSS_WIRE};
+
+    fn pkt(id: u64, size: u64) -> Packet {
+        Packet {
+            id,
+            src: EndpointId(0),
+            dst: EndpointId(0),
+            path: PathId(0),
+            hop: 0,
+            size,
+            header: Header::Data(DataHeader {
+                subflow: 0,
+                seq: id,
+                dsn: 0,
+                payload_len: size,
+                sent_at: SimTime::ZERO,
+                is_retransmission: false,
+            }),
+        }
+    }
+
+    fn quiet_rng() -> SimRng {
+        SimRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn idle_link_starts_tx_immediately() {
+        let mut link = Link::new(LinkParams::paper_default());
+        let now = SimTime::from_millis(1);
+        match link.admit(pkt(1, MSS_WIRE), now, &mut quiet_rng()) {
+            Admission::StartTx(done) => {
+                // 1500 B at 100 Mbps = 120 us.
+                assert_eq!(done, now + SimDuration::from_micros(120));
+            }
+            other => panic!("expected StartTx, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn busy_link_queues_and_chains_completions() {
+        let mut link = Link::new(LinkParams::paper_default());
+        let mut rng = quiet_rng();
+        let t0 = SimTime::ZERO;
+        let done1 = match link.admit(pkt(1, MSS_WIRE), t0, &mut rng) {
+            Admission::StartTx(d) => d,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(link.admit(pkt(2, MSS_WIRE), t0, &mut rng), Admission::Queued);
+        let (p1, next) = link.complete_tx(done1);
+        assert_eq!(p1.id, 1);
+        let done2 = next.expect("second packet pending");
+        assert_eq!(done2, done1 + SimDuration::from_micros(120));
+        let (p2, next) = link.complete_tx(done2);
+        assert_eq!(p2.id, 2);
+        assert!(next.is_none());
+        assert_eq!(link.stats().delivered_packets, 2);
+    }
+
+    #[test]
+    fn droptail_overflow() {
+        let params = LinkParams::paper_default().with_buffer(3_000);
+        let mut link = Link::new(params);
+        let mut rng = quiet_rng();
+        let t0 = SimTime::ZERO;
+        assert!(matches!(
+            link.admit(pkt(1, MSS_WIRE), t0, &mut rng),
+            Admission::StartTx(_)
+        ));
+        assert_eq!(link.admit(pkt(2, MSS_WIRE), t0, &mut rng), Admission::Queued);
+        // Third full-size packet exceeds the 3000-byte buffer.
+        assert_eq!(link.admit(pkt(3, MSS_WIRE), t0, &mut rng), Admission::Dropped);
+        assert_eq!(link.stats().dropped_overflow, 1);
+    }
+
+    #[test]
+    fn random_loss_drops_roughly_the_configured_fraction() {
+        let params = LinkParams::paper_default()
+            .with_buffer(u64::MAX)
+            .with_random_loss(0.25);
+        let mut link = Link::new(params);
+        let mut rng = quiet_rng();
+        let mut now = SimTime::ZERO;
+        let mut dropped = 0;
+        for i in 0..10_000 {
+            match link.admit(pkt(i, MSS_WIRE), now, &mut rng) {
+                Admission::Dropped => dropped += 1,
+                Admission::StartTx(done) => {
+                    // Drain immediately to keep the queue empty.
+                    let (_, next) = link.complete_tx(done);
+                    assert!(next.is_none());
+                    now = done;
+                }
+                Admission::Queued => unreachable!("queue drained each time"),
+            }
+        }
+        let frac = dropped as f64 / 10_000.0;
+        assert!((0.22..0.28).contains(&frac), "loss fraction {frac}");
+    }
+
+    #[test]
+    fn param_change_applies_to_new_packets() {
+        let mut link = Link::new(LinkParams::paper_default());
+        let mut rng = quiet_rng();
+        link.set_params(LinkParams::paper_default().with_capacity(Rate::from_mbps(10.0)));
+        match link.admit(pkt(1, MSS_WIRE), SimTime::ZERO, &mut rng) {
+            Admission::StartTx(done) => {
+                assert_eq!(done, SimTime::ZERO + SimDuration::from_micros(1200));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

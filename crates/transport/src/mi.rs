@@ -1,0 +1,326 @@
+//! Monitor-interval accounting for PCC-family controllers.
+//!
+//! A monitor interval (MI) spans a contiguous range of a subflow's packet
+//! sequence numbers. The interval *closes* for sending when its timer
+//! expires (the next MI starts immediately), and *completes* once every
+//! packet sent during it has been acknowledged or declared lost — roughly
+//! one RTT later — at which point its statistics (goodput, loss rate,
+//! latency gradient) are reported to the controller, exactly as in PCC
+//! Vivace.
+
+use crate::controller::MiReport;
+use mpcc_simcore::{Rate, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// One monitor interval's accumulating state.
+#[derive(Clone, Debug)]
+struct Mi {
+    id: u64,
+    rate: Rate,
+    start: SimTime,
+    /// Set when the interval closes for sending.
+    closed_at: Option<SimTime>,
+    seq_start: u64,
+    /// One past the last sequence number sent in the interval; set at close.
+    seq_end: Option<u64>,
+    sent: u64,
+    acked: u64,
+    lost: u64,
+    acked_bytes: u64,
+    /// Least-squares accumulators for RTT (seconds) over send time
+    /// (seconds since interval start).
+    n: f64,
+    sx: f64,
+    sy: f64,
+    sxx: f64,
+    sxy: f64,
+    app_limited: bool,
+}
+
+impl Mi {
+    fn contains(&self, seq: u64) -> bool {
+        seq >= self.seq_start
+            && match self.seq_end {
+                Some(end) => seq < end,
+                None => true,
+            }
+    }
+
+    fn resolved(&self) -> bool {
+        self.seq_end.is_some() && self.acked + self.lost >= self.sent
+    }
+
+    fn report(&self, subflow: usize, now: SimTime) -> MiReport {
+        let closed_at = self.closed_at.unwrap_or(now);
+        let duration = closed_at.saturating_since(self.start);
+        let duration = if duration.is_zero() {
+            SimDuration::from_nanos(1)
+        } else {
+            duration
+        };
+        let loss_rate = if self.sent == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.sent as f64
+        };
+        let goodput = Rate::from_bps(self.acked_bytes as f64 * 8.0 / duration.as_secs_f64());
+        let latency_gradient = self.slope();
+        let mean_rtt = if self.acked > 0 {
+            SimDuration::from_secs_f64(self.sy / self.n)
+        } else {
+            SimDuration::ZERO
+        };
+        MiReport {
+            subflow,
+            rate: self.rate,
+            start: self.start,
+            duration,
+            completed_at: now,
+            sent_packets: self.sent,
+            acked_packets: self.acked,
+            lost_packets: self.lost,
+            acked_bytes: self.acked_bytes,
+            loss_rate,
+            goodput,
+            latency_gradient,
+            mean_rtt,
+            app_limited: self.app_limited,
+        }
+    }
+
+    /// Least-squares slope of RTT vs send time: the paper's d(RTT)/dT.
+    fn slope(&self) -> f64 {
+        if self.n < 2.0 {
+            return 0.0;
+        }
+        let denom = self.n * self.sxx - self.sx * self.sx;
+        if denom.abs() < 1e-18 {
+            return 0.0;
+        }
+        (self.n * self.sxy - self.sx * self.sy) / denom
+    }
+}
+
+/// Tracks the current and pending (closed but unresolved) monitor
+/// intervals of one subflow.
+#[derive(Debug, Default)]
+pub struct MiTracker {
+    current: Option<Mi>,
+    pending: VecDeque<Mi>,
+    next_id: u64,
+}
+
+impl MiTracker {
+    /// A tracker with no interval running.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new interval at `now` with sending rate `rate`, closing the
+    /// current one (if any). Returns the new interval's id.
+    pub fn begin(&mut self, rate: Rate, now: SimTime, next_seq: u64) -> u64 {
+        self.close_current(now, next_seq);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.current = Some(Mi {
+            id,
+            rate,
+            start: now,
+            closed_at: None,
+            seq_start: next_seq,
+            seq_end: None,
+            sent: 0,
+            acked: 0,
+            lost: 0,
+            acked_bytes: 0,
+            n: 0.0,
+            sx: 0.0,
+            sy: 0.0,
+            sxx: 0.0,
+            sxy: 0.0,
+            app_limited: false,
+        });
+        id
+    }
+
+    /// Closes the current interval (no new packets attributed to it).
+    pub fn close_current(&mut self, now: SimTime, next_seq: u64) {
+        if let Some(mut mi) = self.current.take() {
+            mi.closed_at = Some(now);
+            mi.seq_end = Some(next_seq);
+            self.pending.push_back(mi);
+        }
+    }
+
+    /// The id of the running interval, if any.
+    pub fn current_id(&self) -> Option<u64> {
+        self.current.as_ref().map(|mi| mi.id)
+    }
+
+    /// The rate of the running interval, if any.
+    pub fn current_rate(&self) -> Option<Rate> {
+        self.current.as_ref().map(|mi| mi.rate)
+    }
+
+    /// Records a packet transmission (sequence numbers are attributed to
+    /// the running interval).
+    pub fn on_sent(&mut self, _seq: u64) {
+        if let Some(mi) = &mut self.current {
+            mi.sent += 1;
+        }
+    }
+
+    /// Flags the running interval as application-limited.
+    pub fn mark_app_limited(&mut self) {
+        if let Some(mi) = &mut self.current {
+            mi.app_limited = true;
+        }
+    }
+
+    /// Records an acknowledgement of `seq` (sent at `sent_at`, measured
+    /// RTT `rtt`, carrying `bytes` of payload).
+    pub fn on_acked(&mut self, seq: u64, sent_at: SimTime, rtt: SimDuration, bytes: u64) {
+        if let Some(mi) = self.find_mut(seq) {
+            mi.acked += 1;
+            mi.acked_bytes += bytes;
+            let x = sent_at.saturating_since(mi.start).as_secs_f64();
+            let y = rtt.as_secs_f64();
+            mi.n += 1.0;
+            mi.sx += x;
+            mi.sy += y;
+            mi.sxx += x * x;
+            mi.sxy += x * y;
+        }
+    }
+
+    /// Records a loss of `seq`.
+    pub fn on_lost(&mut self, seq: u64) {
+        if let Some(mi) = self.find_mut(seq) {
+            mi.lost += 1;
+        }
+    }
+
+    fn find_mut(&mut self, seq: u64) -> Option<&mut Mi> {
+        if let Some(mi) = &mut self.current {
+            if mi.contains(seq) {
+                return self.current.as_mut();
+            }
+        }
+        self.pending.iter_mut().find(|mi| mi.contains(seq))
+    }
+
+    /// Pops completed intervals in order. An interval only reports once all
+    /// earlier intervals have reported, so the controller sees a strictly
+    /// ordered stream of results.
+    pub fn poll_completed(&mut self, subflow: usize, now: SimTime) -> Vec<MiReport> {
+        let mut out = Vec::new();
+        while let Some(front) = self.pending.front() {
+            if front.resolved() {
+                let mi = self.pending.pop_front().expect("front exists");
+                out.push(mi.report(subflow, now));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Number of closed-but-unresolved intervals.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mi_lifecycle_and_report() {
+        let mut t = MiTracker::new();
+        let t0 = SimTime::ZERO;
+        t.begin(Rate::from_mbps(10.0), t0, 0);
+        for seq in 0..10 {
+            t.on_sent(seq);
+        }
+        // Close at 100 ms; next MI starts.
+        let t1 = SimTime::from_millis(100);
+        t.begin(Rate::from_mbps(20.0), t1, 10);
+        assert_eq!(t.pending_len(), 1);
+        assert!(t.poll_completed(0, t1).is_empty());
+        // Ack 9 packets, lose 1.
+        for seq in 0..9 {
+            t.on_acked(
+                seq,
+                SimTime::from_millis(seq * 10),
+                SimDuration::from_millis(50),
+                1448,
+            );
+        }
+        t.on_lost(9);
+        let reports = t.poll_completed(0, SimTime::from_millis(200));
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.sent_packets, 10);
+        assert_eq!(r.acked_packets, 9);
+        assert_eq!(r.lost_packets, 1);
+        assert!((r.loss_rate - 0.1).abs() < 1e-12);
+        // Goodput: 9 * 1448 B over 100 ms.
+        assert!((r.goodput.mbps() - 9.0 * 1448.0 * 8.0 / 1e5 * 1e6 / 1e6 / 10.0).abs() < 1.0);
+        // Constant RTT: zero latency gradient.
+        assert!(r.latency_gradient.abs() < 1e-9);
+        assert_eq!(r.mean_rtt, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn latency_gradient_detects_rtt_growth() {
+        let mut t = MiTracker::new();
+        t.begin(Rate::from_mbps(10.0), SimTime::ZERO, 0);
+        for seq in 0..10 {
+            t.on_sent(seq);
+        }
+        t.begin(Rate::from_mbps(10.0), SimTime::from_millis(100), 10);
+        // RTT grows 1 ms per 10 ms of send time: slope 0.1.
+        for seq in 0..10u64 {
+            t.on_acked(
+                seq,
+                SimTime::from_millis(seq * 10),
+                SimDuration::from_millis(50 + seq),
+                1448,
+            );
+        }
+        let r = &t.poll_completed(0, SimTime::from_millis(300))[0];
+        assert!((r.latency_gradient - 0.1).abs() < 1e-9, "{}", r.latency_gradient);
+    }
+
+    #[test]
+    fn reports_stay_ordered() {
+        let mut t = MiTracker::new();
+        t.begin(Rate::from_mbps(1.0), SimTime::ZERO, 0);
+        t.on_sent(0);
+        t.begin(Rate::from_mbps(2.0), SimTime::from_millis(10), 1);
+        t.on_sent(1);
+        t.begin(Rate::from_mbps(3.0), SimTime::from_millis(20), 2);
+        // Resolve the *second* MI first; it must not report before the first.
+        t.on_acked(1, SimTime::from_millis(10), SimDuration::from_millis(5), 1448);
+        assert!(t.poll_completed(0, SimTime::from_millis(30)).is_empty());
+        t.on_lost(0);
+        let reports = t.poll_completed(0, SimTime::from_millis(40));
+        assert_eq!(reports.len(), 2);
+        assert!((reports[0].rate.mbps() - 1.0).abs() < 1e-9);
+        assert!((reports[1].rate.mbps() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_mi_resolves_immediately() {
+        let mut t = MiTracker::new();
+        t.begin(Rate::from_mbps(1.0), SimTime::ZERO, 0);
+        t.mark_app_limited();
+        t.begin(Rate::from_mbps(1.0), SimTime::from_millis(10), 0);
+        let reports = t.poll_completed(0, SimTime::from_millis(10));
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].app_limited);
+        assert_eq!(reports[0].sent_packets, 0);
+        assert_eq!(reports[0].loss_rate, 0.0);
+    }
+}

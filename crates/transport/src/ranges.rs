@@ -1,0 +1,223 @@
+//! An ordered set of disjoint half-open `u64` ranges.
+//!
+//! Used for receiver-side bookkeeping in both sequence spaces: out-of-order
+//! subflow sequence numbers (SACK generation) and out-of-order data sequence
+//! bytes (connection-level reassembly).
+
+use std::collections::BTreeMap;
+
+/// A set of disjoint, coalesced half-open ranges `[start, end)`.
+#[derive(Clone, Debug, Default)]
+pub struct RangeSet {
+    /// start -> end, disjoint and non-adjacent.
+    map: BTreeMap<u64, u64>,
+}
+
+impl RangeSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `[start, end)`, merging with overlapping or adjacent ranges.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if end <= start {
+            return;
+        }
+        let mut new_start = start;
+        let mut new_end = end;
+        // Merge with a predecessor that overlaps or touches `start`.
+        if let Some((&s, &e)) = self.map.range(..=start).next_back() {
+            if e >= start {
+                if e >= end {
+                    return; // fully contained
+                }
+                new_start = s;
+                new_end = new_end.max(e);
+                self.map.remove(&s);
+            }
+        }
+        // Merge with successors swallowed by or touching the new range.
+        while let Some((&s, &e)) = self.map.range(new_start..).next() {
+            if s > new_end {
+                break;
+            }
+            new_end = new_end.max(e);
+            self.map.remove(&s);
+        }
+        self.map.insert(new_start, new_end);
+    }
+
+    /// `true` if `value` is covered.
+    pub fn contains(&self, value: u64) -> bool {
+        self.map
+            .range(..=value)
+            .next_back()
+            .is_some_and(|(_, &e)| e > value)
+    }
+
+    /// `true` if the whole of `[start, end)` is covered.
+    pub fn contains_range(&self, start: u64, end: u64) -> bool {
+        if end <= start {
+            return true;
+        }
+        self.map
+            .range(..=start)
+            .next_back()
+            .is_some_and(|(_, &e)| e >= end)
+    }
+
+    /// If the set covers `value`, returns the end of the covering range.
+    pub fn end_of_run(&self, value: u64) -> Option<u64> {
+        self.map
+            .range(..=value)
+            .next_back()
+            .and_then(|(_, &e)| (e > value).then_some(e))
+    }
+
+    /// Removes everything below `cutoff`.
+    pub fn prune_below(&mut self, cutoff: u64) {
+        let keys: Vec<u64> = self.map.range(..cutoff).map(|(&s, _)| s).collect();
+        for s in keys {
+            let e = self.map.remove(&s).expect("key just seen");
+            if e > cutoff {
+                self.map.insert(cutoff, e);
+            }
+        }
+    }
+
+    /// Number of disjoint ranges.
+    pub fn num_ranges(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total values covered.
+    pub fn covered(&self) -> u64 {
+        self.map.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// The `n` highest ranges, highest first.
+    pub fn highest(&self, n: usize) -> Vec<(u64, u64)> {
+        self.map
+            .iter()
+            .rev()
+            .take(n)
+            .map(|(&s, &e)| (s, e))
+            .collect()
+    }
+
+    /// Iterates all ranges in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.map.iter().map(|(&s, &e)| (s, e))
+    }
+
+    /// `true` if nothing is covered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops the lowest ranges until at most `cap` remain (bounds receiver
+    /// memory under sustained loss; see module docs for why this is safe).
+    pub fn truncate_to(&mut self, cap: usize) {
+        while self.map.len() > cap {
+            let &s = self.map.keys().next().expect("non-empty");
+            self.map.remove(&s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_merge() {
+        let mut rs = RangeSet::new();
+        rs.insert(10, 20);
+        rs.insert(30, 40);
+        assert_eq!(rs.num_ranges(), 2);
+        assert_eq!(rs.covered(), 20);
+        // Bridge the gap exactly.
+        rs.insert(20, 30);
+        assert_eq!(rs.num_ranges(), 1);
+        assert!(rs.contains_range(10, 40));
+        assert!(!rs.contains(40));
+        assert!(rs.contains(10));
+    }
+
+    #[test]
+    fn overlapping_inserts_coalesce() {
+        let mut rs = RangeSet::new();
+        rs.insert(0, 5);
+        rs.insert(3, 8);
+        rs.insert(7, 9);
+        assert_eq!(rs.num_ranges(), 1);
+        assert_eq!(rs.covered(), 9);
+        // Fully-contained insert is a no-op.
+        rs.insert(2, 4);
+        assert_eq!(rs.covered(), 9);
+    }
+
+    #[test]
+    fn insert_swallowing_multiple() {
+        let mut rs = RangeSet::new();
+        rs.insert(0, 2);
+        rs.insert(4, 6);
+        rs.insert(8, 10);
+        rs.insert(1, 9);
+        assert_eq!(rs.num_ranges(), 1);
+        assert!(rs.contains_range(0, 10));
+    }
+
+    #[test]
+    fn end_of_run() {
+        let mut rs = RangeSet::new();
+        rs.insert(5, 9);
+        assert_eq!(rs.end_of_run(5), Some(9));
+        assert_eq!(rs.end_of_run(8), Some(9));
+        assert_eq!(rs.end_of_run(9), None);
+        assert_eq!(rs.end_of_run(4), None);
+    }
+
+    #[test]
+    fn prune_below_splits_straddling_range() {
+        let mut rs = RangeSet::new();
+        rs.insert(0, 10);
+        rs.insert(20, 30);
+        rs.prune_below(5);
+        assert!(!rs.contains(4));
+        assert!(rs.contains(5));
+        assert!(rs.contains(25));
+        assert_eq!(rs.covered(), 15);
+    }
+
+    #[test]
+    fn highest_returns_descending() {
+        let mut rs = RangeSet::new();
+        rs.insert(0, 1);
+        rs.insert(10, 11);
+        rs.insert(20, 21);
+        let h = rs.highest(2);
+        assert_eq!(h, vec![(20, 21), (10, 11)]);
+    }
+
+    #[test]
+    fn truncate_drops_lowest() {
+        let mut rs = RangeSet::new();
+        for i in 0..10 {
+            rs.insert(i * 10, i * 10 + 1);
+        }
+        rs.truncate_to(3);
+        assert_eq!(rs.num_ranges(), 3);
+        assert!(rs.contains(90));
+        assert!(!rs.contains(0));
+    }
+
+    #[test]
+    fn empty_range_ignored() {
+        let mut rs = RangeSet::new();
+        rs.insert(5, 5);
+        assert!(rs.is_empty());
+        assert!(rs.contains_range(7, 7));
+    }
+}

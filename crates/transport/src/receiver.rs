@@ -1,0 +1,157 @@
+//! The multipath receiver endpoint.
+//!
+//! Mirrors a legacy MPTCP receiver (the paper changes the sender only):
+//! per-subflow cumulative + selective acknowledgements, connection-level
+//! reassembly in the data-sequence space, and receive-window advertisement.
+//! Every data packet is acknowledged immediately (no delayed ACKs).
+
+use crate::ranges::RangeSet;
+use mpcc_netsim::{AckHeader, Ctx, Endpoint, Header, Packet, SeqRange, ACK_SIZE};
+use mpcc_simcore::SimTime;
+use std::any::Any;
+
+/// Maximum SACK blocks carried per ACK.
+const MAX_SACK_BLOCKS: usize = 4;
+/// Bound on remembered out-of-order subflow ranges (memory cap; see
+/// `RangeSet::truncate_to` for why dropping old ranges is safe here).
+const MAX_TRACKED_RANGES: usize = 4096;
+
+#[derive(Debug, Default)]
+struct SfRecv {
+    /// Next subflow sequence number expected in order.
+    cum_ack: u64,
+    /// Received sequence numbers at or above `cum_ack`.
+    received: RangeSet,
+}
+
+/// Statistics a receiver accumulates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReceiverStats {
+    /// Data packets received (including duplicates).
+    pub received_packets: u64,
+    /// Packets whose payload was entirely already-delivered bytes.
+    pub duplicate_packets: u64,
+    /// Connection-level bytes delivered in order to the application.
+    pub delivered_bytes: u64,
+    /// Time the last in-order byte was delivered.
+    pub last_delivery: SimTime,
+}
+
+/// A multipath receiver endpoint.
+pub struct MpReceiver {
+    buffer: u64,
+    sfs: Vec<SfRecv>,
+    /// In-order data-sequence frontier (bytes delivered to the app).
+    frontier: u64,
+    /// Out-of-order data-sequence ranges above the frontier.
+    oo: RangeSet,
+    stats: ReceiverStats,
+}
+
+impl MpReceiver {
+    /// Creates a receiver with the given reassembly buffer, in bytes
+    /// (the paper's experiments use 300 MB).
+    pub fn new(buffer: u64) -> Self {
+        MpReceiver {
+            buffer,
+            sfs: Vec::new(),
+            frontier: 0,
+            oo: RangeSet::new(),
+            stats: ReceiverStats::default(),
+        }
+    }
+
+    /// A receiver with the paper's 300 MB buffer.
+    pub fn paper_default() -> Self {
+        MpReceiver::new(300_000_000)
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ReceiverStats {
+        ReceiverStats {
+            delivered_bytes: self.frontier,
+            ..self.stats
+        }
+    }
+
+    /// Connection-level in-order bytes delivered.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.frontier
+    }
+
+    fn sf_mut(&mut self, idx: usize) -> &mut SfRecv {
+        if idx >= self.sfs.len() {
+            self.sfs.resize_with(idx + 1, SfRecv::default);
+        }
+        &mut self.sfs[idx]
+    }
+
+    fn advertised_window(&self) -> u64 {
+        self.buffer.saturating_sub(self.oo.covered())
+    }
+}
+
+impl Endpoint for MpReceiver {
+    fn start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        let Some(data) = pkt.data() else {
+            return;
+        };
+        let data = data.clone();
+        self.stats.received_packets += 1;
+        let now = ctx.now();
+
+        // Subflow-level sequence tracking for (S)ACK generation.
+        let sf = self.sf_mut(data.subflow as usize);
+        sf.received.insert(data.seq, data.seq + 1);
+        if let Some(end) = sf.received.end_of_run(sf.cum_ack) {
+            sf.cum_ack = end;
+        }
+        sf.received.prune_below(sf.cum_ack.saturating_sub(1));
+        sf.received.truncate_to(MAX_TRACKED_RANGES);
+        let cum_ack = sf.cum_ack;
+        let sack: Vec<SeqRange> = sf
+            .received
+            .highest(MAX_SACK_BLOCKS)
+            .into_iter()
+            .map(|(start, end)| SeqRange { start, end })
+            .collect();
+
+        // Connection-level reassembly.
+        let dsn_end = data.dsn + data.payload_len;
+        if dsn_end <= self.frontier {
+            self.stats.duplicate_packets += 1;
+        } else {
+            let start = data.dsn.max(self.frontier);
+            self.oo.insert(start, dsn_end);
+            if let Some(end) = self.oo.end_of_run(self.frontier) {
+                self.frontier = end;
+                self.stats.last_delivery = now;
+            }
+            self.oo.prune_below(self.frontier);
+        }
+
+        let ack = AckHeader {
+            subflow: data.subflow,
+            cum_ack,
+            sack,
+            ack_seq: data.seq,
+            echo_sent_at: data.sent_at,
+            data_acked: self.frontier,
+            rcv_window: self.advertised_window(),
+        };
+        let rev = ctx.path_reverse_delay(pkt.path);
+        ctx.send_direct(pkt.src, rev, ACK_SIZE, Header::Ack(ack));
+    }
+
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

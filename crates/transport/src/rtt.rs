@@ -1,0 +1,188 @@
+//! Round-trip-time estimation (RFC 6298 smoothing plus a windowed minimum).
+
+use mpcc_simcore::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Default lower bound on the retransmission timeout.
+pub const MIN_RTO: SimDuration = SimDuration::from_millis(200);
+/// Upper bound on the retransmission timeout.
+pub const MAX_RTO: SimDuration = SimDuration::from_secs(60);
+/// Window over which the minimum RTT is tracked (BBR uses 10 s).
+pub const MIN_RTT_WINDOW: SimDuration = SimDuration::from_secs(10);
+
+/// Smoothed RTT state for one subflow.
+#[derive(Clone, Debug)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    latest: SimDuration,
+    /// Monotonic deque of (time, rtt) for the windowed minimum.
+    min_window: VecDeque<(SimTime, SimDuration)>,
+    /// Smallest sample ever observed (the propagation-delay estimate).
+    min_ever: SimDuration,
+    samples: u64,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RttEstimator {
+    /// A fresh estimator with no samples.
+    pub fn new() -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            latest: SimDuration::ZERO,
+            min_window: VecDeque::new(),
+            min_ever: SimDuration::MAX,
+            samples: 0,
+        }
+    }
+
+    /// Feeds one RTT sample taken at time `now`.
+    pub fn on_sample(&mut self, rtt: SimDuration, now: SimTime) {
+        self.samples += 1;
+        self.latest = rtt;
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = SimDuration::from_nanos(rtt.as_nanos() / 2);
+            }
+            Some(srtt) => {
+                // RFC 6298: rttvar = 3/4 rttvar + 1/4 |srtt - rtt|
+                //           srtt   = 7/8 srtt   + 1/8 rtt
+                let delta = srtt.saturating_sub(rtt) + rtt.saturating_sub(srtt);
+                self.rttvar = SimDuration::from_nanos(
+                    (self.rttvar.as_nanos() * 3 + delta.as_nanos()) / 4,
+                );
+                self.srtt = Some(SimDuration::from_nanos(
+                    (srtt.as_nanos() * 7 + rtt.as_nanos()) / 8,
+                ));
+            }
+        }
+        self.min_ever = self.min_ever.min(rtt);
+        // Windowed min: drop expired entries, keep the deque increasing.
+        while let Some(&(t, _)) = self.min_window.front() {
+            if now.saturating_since(t) > MIN_RTT_WINDOW {
+                self.min_window.pop_front();
+            } else {
+                break;
+            }
+        }
+        while let Some(&(_, r)) = self.min_window.back() {
+            if r >= rtt {
+                self.min_window.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.min_window.push_back((now, rtt));
+    }
+
+    /// `true` once at least one sample has been taken.
+    pub fn has_sample(&self) -> bool {
+        self.srtt.is_some()
+    }
+
+    /// Number of samples consumed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Smoothed RTT; falls back to `fallback` before the first sample.
+    pub fn srtt_or(&self, fallback: SimDuration) -> SimDuration {
+        self.srtt.unwrap_or(fallback)
+    }
+
+    /// The most recent sample.
+    pub fn latest(&self) -> SimDuration {
+        self.latest
+    }
+
+    /// Minimum RTT within the last [`MIN_RTT_WINDOW`].
+    pub fn min_rtt(&self) -> SimDuration {
+        self.min_window
+            .front()
+            .map(|&(_, r)| r)
+            .unwrap_or(self.latest)
+    }
+
+    /// Smallest sample ever observed.
+    pub fn min_ever(&self) -> SimDuration {
+        if self.min_ever == SimDuration::MAX {
+            self.latest
+        } else {
+            self.min_ever
+        }
+    }
+
+    /// RFC 6298 retransmission timeout: `srtt + 4·rttvar`, clamped.
+    pub fn rto(&self) -> SimDuration {
+        match self.srtt {
+            None => SimDuration::from_secs(1),
+            Some(srtt) => {
+                let raw = srtt + SimDuration::from_nanos(self.rttvar.as_nanos().saturating_mul(4));
+                raw.max(MIN_RTO).min(MAX_RTO)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::new();
+        assert!(!e.has_sample());
+        e.on_sample(ms(60), SimTime::from_millis(60));
+        assert_eq!(e.srtt_or(ms(1)), ms(60));
+        assert_eq!(e.min_rtt(), ms(60));
+        // rto = 60 + 4*30 = 180 -> clamped up to MIN_RTO? 180 < 200.
+        assert_eq!(e.rto(), MIN_RTO);
+    }
+
+    #[test]
+    fn smoothing_converges() {
+        let mut e = RttEstimator::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..200 {
+            now += ms(10);
+            e.on_sample(ms(50), now);
+        }
+        let srtt = e.srtt_or(SimDuration::ZERO);
+        assert!((srtt.as_millis_f64() - 50.0).abs() < 0.5, "{srtt:?}");
+    }
+
+    #[test]
+    fn min_rtt_window_expires() {
+        let mut e = RttEstimator::new();
+        e.on_sample(ms(10), SimTime::from_secs(1));
+        e.on_sample(ms(50), SimTime::from_secs(2));
+        assert_eq!(e.min_rtt(), ms(10));
+        // 20 s later the 10 ms sample has left the window.
+        e.on_sample(ms(40), SimTime::from_secs(22));
+        assert_eq!(e.min_rtt(), ms(40));
+        // but min_ever remembers it.
+        assert_eq!(e.min_ever(), ms(10));
+    }
+
+    #[test]
+    fn rto_grows_with_variance() {
+        let mut e = RttEstimator::new();
+        let mut now = SimTime::ZERO;
+        for i in 0..100 {
+            now += ms(10);
+            e.on_sample(ms(if i % 2 == 0 { 30 } else { 130 }), now);
+        }
+        assert!(e.rto() > ms(200));
+    }
+}

@@ -1,0 +1,354 @@
+//! Sender-side scoreboard: which packets are outstanding, acknowledged or
+//! lost on one subflow.
+//!
+//! Subflow sequence numbers count packets. Loss is declared FACK-style: a
+//! packet is lost once the highest acknowledged sequence number is
+//! `dupthresh` ahead of it (the SACK equivalent of three duplicate ACKs), or
+//! when the retransmission timer fires.
+
+use crate::rtt::RttEstimator;
+use mpcc_netsim::{AckHeader, SeqRange};
+use mpcc_simcore::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Packet-reordering tolerance before declaring loss, in packets.
+pub const DUPTHRESH: u64 = 3;
+
+/// A contiguous range of connection-level bytes carried by one packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// First data sequence byte.
+    pub dsn: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// `true` if this range was transmitted before (on any subflow).
+    pub retx: bool,
+}
+
+/// Bookkeeping for one outstanding packet.
+#[derive(Clone, Copy, Debug)]
+pub struct SentMeta {
+    /// The connection-level bytes the packet carries.
+    pub chunk: Chunk,
+    /// Bytes on the wire.
+    pub wire_size: u64,
+    /// Transmission time.
+    pub sent_at: SimTime,
+    /// Subflow's cumulative delivered bytes at transmission time, for
+    /// delivery-rate sampling.
+    pub delivered_at_send: u64,
+}
+
+/// Result of feeding one ACK into the scoreboard.
+#[derive(Debug, Default)]
+pub struct AckOutcome {
+    /// Packets newly acknowledged, with their metadata.
+    pub acked: Vec<(u64, SentMeta)>,
+    /// Payload bytes newly acknowledged.
+    pub acked_bytes: u64,
+    /// RTT sample from the echoed timestamp, if the echoed packet was
+    /// still tracked (not a spurious/duplicate ACK).
+    pub rtt_sample: Option<SimDuration>,
+}
+
+/// Per-subflow sent-packet tracking.
+#[derive(Debug, Default)]
+pub struct Scoreboard {
+    outstanding: BTreeMap<u64, SentMeta>,
+    next_seq: u64,
+    highest_acked: Option<u64>,
+    inflight_payload: u64,
+    delivered_bytes: u64,
+    total_lost_packets: u64,
+    total_acked_packets: u64,
+}
+
+impl Scoreboard {
+    /// A fresh, empty scoreboard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a transmission and returns its sequence number.
+    pub fn on_send(&mut self, chunk: Chunk, wire_size: u64, sent_at: SimTime) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.inflight_payload += chunk.len;
+        self.outstanding.insert(
+            seq,
+            SentMeta {
+                chunk,
+                wire_size,
+                sent_at,
+                delivered_at_send: self.delivered_bytes,
+            },
+        );
+        seq
+    }
+
+    /// Processes an ACK header: marks everything covered by the cumulative
+    /// ACK, the SACK blocks and the per-packet `ack_seq` as delivered.
+    pub fn on_ack(&mut self, ack: &AckHeader, now: SimTime) -> AckOutcome {
+        let mut out = AckOutcome::default();
+        // RTT sample from the triggering packet, taken before any marking
+        // (the cumulative portion may also cover it).
+        if self.outstanding.contains_key(&ack.ack_seq) {
+            out.rtt_sample = Some(now.saturating_since(ack.echo_sent_at));
+        }
+        // Cumulative portion.
+        let below: Vec<u64> = self
+            .outstanding
+            .range(..ack.cum_ack)
+            .map(|(&s, _)| s)
+            .collect();
+        for seq in below {
+            self.mark_acked(seq, &mut out);
+        }
+        // Selective blocks.
+        for SeqRange { start, end } in &ack.sack {
+            let covered: Vec<u64> = self
+                .outstanding
+                .range(*start..*end)
+                .map(|(&s, _)| s)
+                .collect();
+            for seq in covered {
+                self.mark_acked(seq, &mut out);
+            }
+        }
+        // The specific packet that triggered the ACK (always delivered,
+        // since the reverse direction is lossless in the simulator).
+        self.mark_acked(ack.ack_seq, &mut out);
+        self.highest_acked = self.highest_acked.max(Some(ack.ack_seq));
+        if ack.cum_ack > 0 {
+            self.highest_acked = self.highest_acked.max(Some(ack.cum_ack - 1));
+        }
+        out
+    }
+
+    fn mark_acked(&mut self, seq: u64, out: &mut AckOutcome) {
+        if let Some(meta) = self.outstanding.remove(&seq) {
+            self.inflight_payload -= meta.chunk.len;
+            self.delivered_bytes += meta.chunk.len;
+            self.total_acked_packets += 1;
+            out.acked_bytes += meta.chunk.len;
+            out.acked.push((seq, meta));
+        }
+    }
+
+    /// Declares lost every outstanding packet trailing the highest
+    /// acknowledgement by at least [`DUPTHRESH`]; returns them.
+    pub fn detect_losses(&mut self) -> Vec<(u64, SentMeta)> {
+        let Some(high) = self.highest_acked else {
+            return Vec::new();
+        };
+        let cutoff = high.saturating_sub(DUPTHRESH - 1);
+        let lost: Vec<u64> = self
+            .outstanding
+            .range(..cutoff)
+            .map(|(&s, _)| s)
+            .collect();
+        let mut result = Vec::with_capacity(lost.len());
+        for seq in lost {
+            let meta = self.outstanding.remove(&seq).expect("key just seen");
+            self.inflight_payload -= meta.chunk.len;
+            self.total_lost_packets += 1;
+            result.push((seq, meta));
+        }
+        result
+    }
+
+    /// Declares *everything* outstanding lost (retransmission timeout).
+    pub fn on_rto(&mut self) -> Vec<(u64, SentMeta)> {
+        let all: Vec<u64> = self.outstanding.keys().copied().collect();
+        let mut result = Vec::with_capacity(all.len());
+        for seq in all {
+            let meta = self.outstanding.remove(&seq).expect("key just seen");
+            self.inflight_payload -= meta.chunk.len;
+            self.total_lost_packets += 1;
+            result.push((seq, meta));
+        }
+        result
+    }
+
+    /// Payload bytes currently unacknowledged.
+    pub fn inflight_bytes(&self) -> u64 {
+        self.inflight_payload
+    }
+
+    /// Outstanding packet count.
+    pub fn inflight_packets(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Cumulative payload bytes delivered on this subflow.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+
+    /// Cumulative packets declared lost.
+    pub fn total_lost_packets(&self) -> u64 {
+        self.total_lost_packets
+    }
+
+    /// Cumulative packets acknowledged.
+    pub fn total_acked_packets(&self) -> u64 {
+        self.total_acked_packets
+    }
+
+    /// Next sequence number to be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Metadata of the oldest outstanding packet, if any.
+    pub fn oldest_outstanding(&self) -> Option<(u64, &SentMeta)> {
+        self.outstanding.iter().next().map(|(&s, m)| (s, m))
+    }
+}
+
+/// Computes a delivery-rate (bandwidth) sample for an acked packet, as BBR
+/// does: bytes delivered since the packet left, over the elapsed time.
+pub fn bw_sample(
+    meta: &SentMeta,
+    delivered_now: u64,
+    now: SimTime,
+) -> mpcc_simcore::Rate {
+    let elapsed = now.saturating_since(meta.sent_at).as_secs_f64();
+    if elapsed <= 0.0 {
+        return mpcc_simcore::Rate::ZERO;
+    }
+    let bytes = delivered_now.saturating_sub(meta.delivered_at_send);
+    mpcc_simcore::Rate::from_bps(bytes as f64 * 8.0 / elapsed)
+}
+
+/// Convenience: maintains RTT state from ACK outcomes.
+pub fn apply_rtt(est: &mut RttEstimator, outcome: &AckOutcome, now: SimTime) {
+    if let Some(rtt) = outcome.rtt_sample {
+        est.on_sample(rtt, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(dsn: u64) -> Chunk {
+        Chunk {
+            dsn,
+            len: 1448,
+            retx: false,
+        }
+    }
+
+    fn ack(ack_seq: u64, cum: u64, sack: Vec<SeqRange>) -> AckHeader {
+        AckHeader {
+            subflow: 0,
+            cum_ack: cum,
+            sack,
+            ack_seq,
+            echo_sent_at: SimTime::ZERO,
+            data_acked: 0,
+            rcv_window: u64::MAX,
+        }
+    }
+
+    #[test]
+    fn send_then_ack_clears_inflight() {
+        let mut sb = Scoreboard::new();
+        let s0 = sb.on_send(chunk(0), 1500, SimTime::ZERO);
+        assert_eq!(s0, 0);
+        assert_eq!(sb.inflight_bytes(), 1448);
+        let out = sb.on_ack(&ack(0, 1, vec![]), SimTime::from_millis(60));
+        assert_eq!(out.acked_bytes, 1448);
+        assert_eq!(out.rtt_sample, Some(SimDuration::from_millis(60)));
+        assert_eq!(sb.inflight_bytes(), 0);
+        assert_eq!(sb.delivered_bytes(), 1448);
+    }
+
+    #[test]
+    fn duplicate_ack_is_idempotent() {
+        let mut sb = Scoreboard::new();
+        sb.on_send(chunk(0), 1500, SimTime::ZERO);
+        sb.on_ack(&ack(0, 1, vec![]), SimTime::from_millis(10));
+        let out = sb.on_ack(&ack(0, 1, vec![]), SimTime::from_millis(20));
+        assert_eq!(out.acked_bytes, 0);
+        assert!(out.rtt_sample.is_none());
+        assert_eq!(sb.delivered_bytes(), 1448);
+    }
+
+    #[test]
+    fn fack_loss_detection() {
+        let mut sb = Scoreboard::new();
+        for i in 0..6 {
+            sb.on_send(chunk(i * 1448), 1500, SimTime::ZERO);
+        }
+        // Packet 0 is lost; packets 1..6 arrive and are individually acked.
+        for seq in 1..6 {
+            sb.on_ack(&ack(seq, 0, vec![]), SimTime::from_millis(60));
+            let lost = sb.detect_losses();
+            if seq < DUPTHRESH {
+                assert!(lost.is_empty(), "too early at seq {seq}");
+            } else if seq == DUPTHRESH {
+                assert_eq!(lost.len(), 1);
+                assert_eq!(lost[0].0, 0);
+            } else {
+                assert!(lost.is_empty());
+            }
+        }
+        assert_eq!(sb.total_lost_packets(), 1);
+        assert_eq!(sb.inflight_bytes(), 0);
+    }
+
+    #[test]
+    fn sack_ranges_mark_multiple() {
+        let mut sb = Scoreboard::new();
+        for i in 0..5 {
+            sb.on_send(chunk(i * 1448), 1500, SimTime::ZERO);
+        }
+        let out = sb.on_ack(
+            &ack(4, 0, vec![SeqRange { start: 2, end: 5 }]),
+            SimTime::from_millis(30),
+        );
+        // Seqs 2,3,4 acked (4 via both the range and ack_seq).
+        assert_eq!(out.acked.len(), 3);
+        assert_eq!(sb.inflight_packets(), 2);
+    }
+
+    #[test]
+    fn rto_flushes_everything() {
+        let mut sb = Scoreboard::new();
+        for i in 0..4 {
+            sb.on_send(chunk(i * 1448), 1500, SimTime::ZERO);
+        }
+        let lost = sb.on_rto();
+        assert_eq!(lost.len(), 4);
+        assert_eq!(sb.inflight_bytes(), 0);
+        assert_eq!(sb.total_lost_packets(), 4);
+    }
+
+    #[test]
+    fn bw_sample_computation() {
+        let meta = SentMeta {
+            chunk: chunk(0),
+            wire_size: 1500,
+            sent_at: SimTime::ZERO,
+            delivered_at_send: 0,
+        };
+        // 125000 bytes delivered over 100 ms = 10 Mbps.
+        let r = bw_sample(&meta, 125_000, SimTime::from_millis(100));
+        assert!((r.mbps() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cum_ack_advances_highest() {
+        let mut sb = Scoreboard::new();
+        for i in 0..10 {
+            sb.on_send(chunk(i * 1448), 1500, SimTime::ZERO);
+        }
+        // Cumulative ack through 8 (ack_seq 7 arbitrary).
+        sb.on_ack(&ack(7, 8, vec![]), SimTime::from_millis(5));
+        // Packet 8,9 outstanding; no losses (nothing trails by DUPTHRESH).
+        assert!(sb.detect_losses().is_empty());
+        assert_eq!(sb.inflight_packets(), 2);
+    }
+}

@@ -1,0 +1,228 @@
+//! Packet schedulers: which subflow receives the next chunk of data.
+//!
+//! The paper's §6 contrasts two schedulers:
+//!
+//! * the **default MPTCP scheduler** sticks with the lowest-smoothed-RTT
+//!   subflow until its congestion window is exceeded. Crucially, the
+//!   kernel's cwnd test counts packets *in flight*, not packets queued for
+//!   pacing — so under a rate-based controller (whose window is
+//!   deliberately large and whose pacing keeps inflight below it) the
+//!   lowest-RTT subflow is effectively always "available" and the other
+//!   subflows starve. This is the pathology §6 demonstrates.
+//! * the paper's **rate-based scheduler** marks a subflow unavailable once
+//!   it already holds ≥ 10% of the packets needed to sustain its current
+//!   rate for one RTT queued for sending, letting data spill to the other
+//!   subflows while still preferring low RTT.
+//!
+//! In this transport, "queued for sending" is the subflow's *staging
+//! queue*: chunks assigned to the subflow but not yet released by its
+//! pacer.
+
+use mpcc_simcore::{Rate, SimDuration};
+
+/// Scheduler policy selection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SchedulerKind {
+    /// Default MPTCP scheduler: lowest RTT, limited only by the cwnd test
+    /// on inflight data.
+    Default,
+    /// The paper's §6 scheduler for rate-based congestion control, with a
+    /// configurable staging threshold (the paper uses 0.10).
+    RateBased {
+        /// Fraction of `rate × RTT` the staging queue may hold.
+        threshold: f64,
+    },
+}
+
+impl SchedulerKind {
+    /// The paper's rate-based scheduler at its published 10% threshold.
+    pub fn paper_rate_based() -> Self {
+        SchedulerKind::RateBased { threshold: 0.10 }
+    }
+}
+
+/// How many chunks the default scheduler keeps staged ahead of the pacer.
+/// This is a pacer lookahead, not a scheduling decision: data beyond it
+/// stays at the connection level until the preferred subflow drains
+/// (mirroring the kernel, where the subflow send queue is fed lazily).
+pub const DEFAULT_LOOKAHEAD_CHUNKS: u64 = 4;
+
+/// The per-subflow quantities the scheduler inspects.
+#[derive(Clone, Copy, Debug)]
+pub struct SubflowView {
+    /// Payload bytes staged (assigned, not yet transmitted).
+    pub staged_bytes: u64,
+    /// Payload bytes in flight (transmitted, not yet acknowledged).
+    pub inflight_bytes: u64,
+    /// Congestion window in bytes.
+    pub cwnd_bytes: u64,
+    /// Current sending-rate estimate.
+    pub rate: Rate,
+    /// Smoothed RTT.
+    pub srtt: SimDuration,
+}
+
+/// The scheduler's verdict for one staging opportunity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pick {
+    /// Assign the next chunk to this subflow.
+    Assign(usize),
+    /// The preferred subflow is momentarily full (pacer backlog); keep the
+    /// data at the connection level and retry at the next event.
+    PreferredBusy,
+    /// No subflow can take data (all windows full / thresholds exceeded).
+    Blocked,
+}
+
+/// Availability under the cwnd test (both schedulers).
+fn cwnd_available(kind: SchedulerKind, view: &SubflowView, chunk_len: u64) -> bool {
+    match kind {
+        // Kernel semantics: only inflight counts against the window.
+        SchedulerKind::Default => view.inflight_bytes + chunk_len <= view.cwnd_bytes,
+        // The rate scheduler also refuses to build staging beyond cwnd
+        // (it exists precisely to keep per-subflow queues small).
+        SchedulerKind::RateBased { .. } => {
+            view.staged_bytes + view.inflight_bytes + chunk_len <= view.cwnd_bytes
+        }
+    }
+}
+
+/// Availability under the rate scheduler's queue-threshold rule.
+fn threshold_available(threshold: f64, view: &SubflowView, chunk_len: u64) -> bool {
+    // "Unavailable once ≥ threshold of one RTT's worth of packets is
+    // queued." Always permit at least two staged chunks so slow subflows
+    // are not starved entirely.
+    let limit = (threshold * view.rate.bytes_in(view.srtt)) as u64;
+    let limit = limit.max(chunk_len);
+    view.staged_bytes + chunk_len <= limit.max(2 * chunk_len)
+}
+
+/// Decides where the next `chunk_len`-byte chunk goes.
+pub fn pick(kind: SchedulerKind, views: &[SubflowView], chunk_len: u64) -> Pick {
+    match kind {
+        SchedulerKind::Default => {
+            // Preferred subflow: lowest RTT among the cwnd-available; the
+            // scheduler never diverts past it while it stays available.
+            let preferred = views
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| cwnd_available(kind, v, chunk_len))
+                .min_by_key(|(_, v)| v.srtt)
+                .map(|(i, _)| i);
+            match preferred {
+                None => Pick::Blocked,
+                Some(i) => {
+                    let v = &views[i];
+                    if v.staged_bytes + chunk_len <= DEFAULT_LOOKAHEAD_CHUNKS * chunk_len {
+                        Pick::Assign(i)
+                    } else {
+                        Pick::PreferredBusy
+                    }
+                }
+            }
+        }
+        SchedulerKind::RateBased { threshold } => views
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| {
+                cwnd_available(kind, v, chunk_len) && threshold_available(threshold, v, chunk_len)
+            })
+            .min_by_key(|(_, v)| v.srtt)
+            .map(|(i, _)| Pick::Assign(i))
+            .unwrap_or(Pick::Blocked),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(staged: u64, inflight: u64, cwnd: u64, rate_mbps: f64, srtt_ms: u64) -> SubflowView {
+        SubflowView {
+            staged_bytes: staged,
+            inflight_bytes: inflight,
+            cwnd_bytes: cwnd,
+            rate: Rate::from_mbps(rate_mbps),
+            srtt: SimDuration::from_millis(srtt_ms),
+        }
+    }
+
+    #[test]
+    fn default_scheduler_prefers_lowest_rtt_until_cwnd() {
+        let views = [
+            view(0, 0, 100_000, 10.0, 50),
+            view(0, 0, 100_000, 10.0, 20),
+        ];
+        assert_eq!(pick(SchedulerKind::Default, &views, 1448), Pick::Assign(1));
+        // Fill subflow 1's window (inflight): falls over to subflow 0.
+        let views = [
+            view(0, 0, 100_000, 10.0, 50),
+            view(0, 99_000, 100_000, 10.0, 20),
+        ];
+        assert_eq!(pick(SchedulerKind::Default, &views, 1448), Pick::Assign(0));
+    }
+
+    #[test]
+    fn default_scheduler_starves_other_subflows_under_rate_based_cc() {
+        // The §6 pathology: a rate-based controller's window is huge and
+        // pacing keeps inflight low, so the low-RTT subflow stays
+        // "available" forever; the scheduler waits for it rather than
+        // spilling to the 50 ms subflow.
+        let views = [
+            view(0, 0, u64::MAX / 2, 100.0, 50),
+            view(DEFAULT_LOOKAHEAD_CHUNKS * 1448, 250_000, u64::MAX / 2, 100.0, 20),
+        ];
+        assert_eq!(
+            pick(SchedulerKind::Default, &views, 1448),
+            Pick::PreferredBusy
+        );
+    }
+
+    #[test]
+    fn default_scheduler_blocked_when_all_windows_full() {
+        let views = [view(0, 100_000, 100_000, 10.0, 10)];
+        assert_eq!(pick(SchedulerKind::Default, &views, 1448), Pick::Blocked);
+    }
+
+    #[test]
+    fn rate_scheduler_caps_staging_at_threshold() {
+        let kind = SchedulerKind::paper_rate_based();
+        // 100 Mbps × 50 ms = 625 kB per RTT; 10% = 62.5 kB.
+        let under = [view(50_000, 0, u64::MAX / 2, 100.0, 50)];
+        let over = [view(62_000, 0, u64::MAX / 2, 100.0, 50)];
+        assert_eq!(pick(kind, &under, 1448), Pick::Assign(0));
+        assert_eq!(pick(kind, &over, 1448), Pick::Blocked);
+    }
+
+    #[test]
+    fn rate_scheduler_spills_to_other_subflow() {
+        let kind = SchedulerKind::paper_rate_based();
+        let views = [
+            view(0, 0, u64::MAX / 2, 100.0, 50),
+            view(62_000, 0, u64::MAX / 2, 100.0, 20),
+        ];
+        // Low-RTT subflow is saturated; data spills to the 50 ms one —
+        // exactly what the default scheduler refuses to do.
+        assert_eq!(pick(kind, &views, 1448), Pick::Assign(0));
+    }
+
+    #[test]
+    fn rate_scheduler_always_allows_minimal_staging() {
+        let kind = SchedulerKind::paper_rate_based();
+        // Tiny rate×RTT: still allow up to two chunks so the subflow is
+        // not starved.
+        let empty = [view(0, 0, u64::MAX / 2, 0.1, 1)];
+        assert_eq!(pick(kind, &empty, 1448), Pick::Assign(0));
+        let one = [view(1448, 0, u64::MAX / 2, 0.1, 1)];
+        assert_eq!(pick(kind, &one, 1448), Pick::Assign(0));
+        let two = [view(2896, 0, u64::MAX / 2, 0.1, 1)];
+        assert_eq!(pick(kind, &two, 1448), Pick::Blocked);
+    }
+
+    #[test]
+    fn rate_scheduler_respects_cwnd() {
+        let kind = SchedulerKind::paper_rate_based();
+        let v = [view(0, 9_000, 10_000, 100.0, 50)];
+        assert_eq!(pick(kind, &v, 1448), Pick::Blocked);
+    }
+}

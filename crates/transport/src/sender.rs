@@ -1,0 +1,552 @@
+//! The multipath sender endpoint.
+//!
+//! `MpSender` owns the connection's subflows, one congestion controller for
+//! the whole connection, the scheduler, and the send-side connection state.
+//! It implements [`mpcc_netsim::Endpoint`], reacting to ACK arrivals and its
+//! own pacing / monitor-interval / retransmission timers.
+
+use crate::connection::{ConnSend, Workload};
+use crate::controller::{AckInfo, LossInfo, MultipathCc};
+use crate::sack::bw_sample;
+use crate::scheduler::{self, SchedulerKind};
+use crate::subflow::{Subflow, SubflowStats};
+use mpcc_netsim::{
+    Ctx, DataHeader, Endpoint, EndpointId, Header, Packet, PathId, MSS_PAYLOAD, MSS_WIRE,
+};
+use mpcc_simcore::{Rate, SimDuration, SimTime};
+use std::any::Any;
+
+/// Per-packet header overhead on the wire (IP + TCP + MPTCP DSS).
+const HEADER_OVERHEAD: u64 = MSS_WIRE - MSS_PAYLOAD;
+
+/// Timer token kinds (packed into the high bits of the token).
+const K_PACE: u64 = 1;
+const K_MI: u64 = 2;
+const K_RTO: u64 = 3;
+const K_START: u64 = 4;
+const K_APP: u64 = 5;
+
+fn token(kind: u64, sf: usize, epoch: u64) -> u64 {
+    (kind << 60) | ((sf as u64 & 0xFFF) << 48) | (epoch & 0xFFFF_FFFF_FFFF)
+}
+
+fn untoken(token: u64) -> (u64, usize, u64) {
+    (
+        token >> 60,
+        ((token >> 48) & 0xFFF) as usize,
+        token & 0xFFFF_FFFF_FFFF,
+    )
+}
+
+/// Static configuration of a multipath sender.
+#[derive(Clone, Debug)]
+pub struct SenderConfig {
+    /// The peer (receiver) endpoint.
+    pub dst: EndpointId,
+    /// One path per subflow.
+    pub paths: Vec<PathId>,
+    /// What to transfer.
+    pub workload: Workload,
+    /// Packet scheduler policy.
+    pub scheduler: SchedulerKind,
+    /// When the connection starts transmitting.
+    pub start_at: SimTime,
+    /// The peer's receive buffer (the paper sets 300 MB so flow control
+    /// never interferes).
+    pub peer_buffer: u64,
+}
+
+impl SenderConfig {
+    /// A bulk transfer starting at time zero with the paper's OS settings.
+    pub fn bulk(dst: EndpointId, paths: Vec<PathId>) -> Self {
+        SenderConfig {
+            dst,
+            paths,
+            workload: Workload::Bulk,
+            scheduler: SchedulerKind::Default,
+            start_at: SimTime::ZERO,
+            peer_buffer: 300_000_000,
+        }
+    }
+
+    /// A fixed-size transfer.
+    pub fn file(dst: EndpointId, paths: Vec<PathId>, bytes: u64) -> Self {
+        SenderConfig {
+            workload: Workload::Finite(bytes),
+            ..SenderConfig::bulk(dst, paths)
+        }
+    }
+
+    /// Replaces the scheduler policy.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Replaces the start time.
+    pub fn with_start_at(mut self, at: SimTime) -> Self {
+        self.start_at = at;
+        self
+    }
+
+    /// Replaces the assumed peer receive buffer.
+    pub fn with_peer_buffer(mut self, bytes: u64) -> Self {
+        self.peer_buffer = bytes;
+        self
+    }
+}
+
+/// A multipath sender endpoint.
+pub struct MpSender {
+    cfg: SenderConfig,
+    cc: Box<dyn MultipathCc>,
+    rate_based: bool,
+    uses_mi: bool,
+    subflows: Vec<Subflow>,
+    conn: ConnSend,
+    started: bool,
+    done: bool,
+}
+
+impl MpSender {
+    /// Creates a sender driving `cc` over the configured paths.
+    pub fn new(cfg: SenderConfig, cc: Box<dyn MultipathCc>) -> Self {
+        assert!(!cfg.paths.is_empty(), "a connection needs ≥ 1 subflow");
+        let rate_based = cc.is_rate_based();
+        let uses_mi = cc.uses_mi();
+        let conn = ConnSend::new(cfg.workload, cfg.peer_buffer, cfg.start_at);
+        MpSender {
+            cfg,
+            cc,
+            rate_based,
+            uses_mi,
+            subflows: Vec::new(),
+            conn,
+            started: false,
+            done: false,
+        }
+    }
+
+    /// The controller's protocol name.
+    pub fn cc_name(&self) -> &'static str {
+        self.cc.name()
+    }
+
+    /// Number of subflows.
+    pub fn num_subflows(&self) -> usize {
+        self.cfg.paths.len()
+    }
+
+    /// Statistics snapshot of subflow `i`.
+    pub fn subflow_stats(&self, i: usize) -> SubflowStats {
+        self.subflows[i].stats()
+    }
+
+    /// In-order bytes the receiver has confirmed delivered.
+    pub fn data_acked(&self) -> u64 {
+        self.conn.data_acked()
+    }
+
+    /// Flow completion time, if the workload finished.
+    pub fn fct(&self) -> Option<SimDuration> {
+        self.conn.fct()
+    }
+
+    /// `true` once a finite workload has completed.
+    pub fn is_complete(&self) -> bool {
+        self.done
+    }
+
+    /// Access to the controller for protocol-specific inspection.
+    pub fn cc(&self) -> &dyn MultipathCc {
+        self.cc.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Internal machinery
+    // ------------------------------------------------------------------
+
+    fn begin(&mut self, ctx: &mut Ctx<'_>) {
+        self.started = true;
+        let now = ctx.now();
+        for (i, &path) in self.cfg.paths.iter().enumerate() {
+            // Propagation-only RTT estimate from the path description.
+            let fwd = ctx
+                .path_links(path)
+                .iter()
+                .map(|&l| ctx.link_params(l).delay)
+                .fold(SimDuration::ZERO, |a, b| a + b);
+            let base_rtt = fwd + ctx.path_reverse_delay(path);
+            self.subflows.push(Subflow::new(path, base_rtt));
+            self.cc.init_subflow(i, now);
+        }
+        if self.uses_mi {
+            for i in 0..self.subflows.len() {
+                self.begin_mi(i, ctx);
+            }
+        }
+        self.arm_app_timer(ctx);
+        self.pump(ctx);
+    }
+
+    /// For paced (application-limited) workloads: wake up at the next data
+    /// release so staging resumes even when no ACKs are pending.
+    fn arm_app_timer(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(at) = self.conn.next_release(ctx.now()) {
+            ctx.set_timer(at, token(K_APP, 0, 0));
+        }
+    }
+
+    fn begin_mi(&mut self, sf: usize, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let rate = self.cc.begin_mi(sf, now);
+        let subflow = &mut self.subflows[sf];
+        let next_seq = subflow.scoreboard.next_seq();
+        let id = subflow.mi.begin(rate, now, next_seq);
+        subflow.pacing_rate = rate;
+        let srtt = subflow.srtt();
+        let dur = self.cc.mi_duration(sf, srtt, ctx.rng());
+        ctx.set_timer(now + dur, token(K_MI, sf, id));
+        self.deliver_mi_reports(sf, now);
+    }
+
+    fn deliver_mi_reports(&mut self, sf: usize, now: SimTime) {
+        for report in self.subflows[sf].mi.poll_completed(sf, now) {
+            self.cc.on_mi_complete(&report);
+        }
+    }
+
+    fn cwnd_of(&self, sf: usize) -> u64 {
+        let srtt = self.subflows[sf].srtt();
+        self.cc.cwnd_bytes(sf, srtt)
+    }
+
+    fn rate_of(&self, sf: usize) -> Rate {
+        let subflow = &self.subflows[sf];
+        if self.rate_based && !subflow.pacing_rate.is_zero() {
+            subflow.pacing_rate
+        } else {
+            self.cc.rate_estimate(sf, subflow.srtt())
+        }
+    }
+
+    /// Assigns data to subflows per the scheduler and triggers transmission.
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        if self.done || !self.started {
+            return;
+        }
+        // Staging loop: one chunk per iteration.
+        loop {
+            let views: Vec<_> = (0..self.subflows.len())
+                .map(|i| self.subflows[i].view(self.cwnd_of(i), self.rate_of(i)))
+                .collect();
+            let sf = match scheduler::pick(self.cfg.scheduler, &views, MSS_PAYLOAD) {
+                scheduler::Pick::Assign(sf) => sf,
+                // PreferredBusy: the kernel keeps data at the connection
+                // level rather than diverting past an available low-RTT
+                // subflow; we retry at the next transmission opportunity.
+                scheduler::Pick::PreferredBusy | scheduler::Pick::Blocked => break,
+            };
+            let Some(chunk) = self.conn.pop_chunk(MSS_PAYLOAD, ctx.now()) else {
+                if self.uses_mi {
+                    // The sender is application-limited; flag open MIs so
+                    // the controller can discount their statistics.
+                    for subflow in &mut self.subflows {
+                        if subflow.staged.is_empty() && subflow.scoreboard.inflight_bytes() == 0 {
+                            subflow.mi.mark_app_limited();
+                        }
+                    }
+                }
+                break;
+            };
+            self.subflows[sf].stage(chunk);
+            if !self.rate_based {
+                // ACK-clocked: transmit immediately (eligibility already
+                // guaranteed window space for this chunk).
+                self.send_one(sf, ctx);
+            }
+        }
+        if self.rate_based {
+            for sf in 0..self.subflows.len() {
+                self.arm_pacer(sf, ctx);
+            }
+        }
+    }
+
+    /// Transmits the head of `sf`'s staging queue, if the window allows.
+    fn send_one(&mut self, sf: usize, ctx: &mut Ctx<'_>) -> bool {
+        let cwnd = self.cwnd_of(sf);
+        let now = ctx.now();
+        let subflow = &mut self.subflows[sf];
+        let Some(head) = subflow.staged.front() else {
+            return false;
+        };
+        if subflow.scoreboard.inflight_bytes() + head.len > cwnd {
+            return false;
+        }
+        let chunk = subflow.unstage().expect("head exists");
+        let seq = subflow
+            .scoreboard
+            .on_send(chunk, chunk.len + HEADER_OVERHEAD, now);
+        if self.uses_mi {
+            subflow.mi.on_sent(seq);
+        }
+        subflow.sent_packets += 1;
+        subflow.sent_bytes += chunk.len;
+        let header = Header::Data(DataHeader {
+            subflow: sf as u32,
+            seq,
+            dsn: chunk.dsn,
+            payload_len: chunk.len,
+            sent_at: now,
+            is_retransmission: chunk.retx,
+        });
+        let path = subflow.path;
+        ctx.send(path, self.cfg.dst, chunk.len + HEADER_OVERHEAD, header);
+        self.arm_rto(sf, ctx);
+        true
+    }
+
+    fn arm_pacer(&mut self, sf: usize, ctx: &mut Ctx<'_>) {
+        let cwnd = self.cwnd_of(sf);
+        let subflow = &mut self.subflows[sf];
+        if self.done || subflow.pacer_armed {
+            return;
+        }
+        // Only arm when a send could actually happen: the window can shrink
+        // below inflight (e.g. BBR's ProbeRTT), in which case the next ACK
+        // re-arms us instead — arming now would spin at the current instant.
+        match subflow.staged.front() {
+            Some(head) if subflow.scoreboard.inflight_bytes() + head.len <= cwnd => {}
+            _ => return,
+        }
+        let at = subflow.next_send_at.max(ctx.now());
+        subflow.pacer_epoch += 1;
+        subflow.pacer_armed = true;
+        ctx.set_timer(at, token(K_PACE, sf, subflow.pacer_epoch));
+    }
+
+    fn on_pace(&mut self, sf: usize, epoch: u64, ctx: &mut Ctx<'_>) {
+        {
+            let subflow = &mut self.subflows[sf];
+            if epoch != subflow.pacer_epoch {
+                return; // stale timer
+            }
+            subflow.pacer_armed = false;
+        }
+        if self.done {
+            return;
+        }
+        if self.send_one(sf, ctx) {
+            let now = ctx.now();
+            let subflow = &mut self.subflows[sf];
+            let rate = if subflow.pacing_rate.is_zero() {
+                Rate::from_kbps(50.0) // floor to keep the pacer alive
+            } else {
+                subflow.pacing_rate
+            };
+            subflow.next_send_at = now + rate.serialize_time(MSS_WIRE);
+        }
+        // Refill staging and re-arm (send_one may have been window-blocked,
+        // in which case the ACK path re-arms us instead).
+        self.pump(ctx);
+    }
+
+    fn arm_rto(&mut self, sf: usize, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let subflow = &mut self.subflows[sf];
+        if subflow.scoreboard.inflight_bytes() == 0 {
+            subflow.rto_deadline = SimTime::MAX;
+            return;
+        }
+        subflow.rto_deadline = now + subflow.rto_interval();
+        if !subflow.rto_armed {
+            subflow.rto_armed = true;
+            ctx.set_timer(subflow.rto_deadline, token(K_RTO, sf, 0));
+        }
+    }
+
+    fn on_rto_timer(&mut self, sf: usize, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        {
+            let subflow = &mut self.subflows[sf];
+            subflow.rto_armed = false;
+            if self.done || subflow.scoreboard.inflight_bytes() == 0 {
+                return;
+            }
+            if now < subflow.rto_deadline {
+                // The deadline moved forward since this event was armed.
+                subflow.rto_armed = true;
+                let deadline = subflow.rto_deadline;
+                ctx.set_timer(deadline, token(K_RTO, sf, 0));
+                return;
+            }
+        }
+        // Genuine timeout: everything outstanding is lost.
+        let lost = self.subflows[sf].scoreboard.on_rto();
+        for (seq, meta) in &lost {
+            self.conn.requeue(meta.chunk);
+            if self.uses_mi {
+                self.subflows[sf].mi.on_lost(*seq);
+            }
+        }
+        self.subflows[sf].rto_backoff = (self.subflows[sf].rto_backoff * 2).min(16);
+        self.subflows[sf].recovery_until = self.subflows[sf].scoreboard.next_seq();
+        self.cc.on_rto(sf, now);
+        if self.uses_mi {
+            self.deliver_mi_reports(sf, now);
+        }
+        self.pump(ctx);
+        self.arm_rto(sf, ctx);
+    }
+
+    fn on_ack(&mut self, pkt: &Packet, ctx: &mut Ctx<'_>) {
+        let ack = pkt.ack().expect("sender receives ACKs").clone();
+        let sf = ack.subflow as usize;
+        if sf >= self.subflows.len() {
+            return;
+        }
+        let now = ctx.now();
+
+        // Scoreboard + RTT.
+        let outcome = self.subflows[sf].scoreboard.on_ack(&ack, now);
+        if let Some(rtt) = outcome.rtt_sample {
+            self.subflows[sf].rtt.on_sample(rtt, now);
+            self.subflows[sf].rto_backoff = 1;
+        }
+        // Monitor-interval attribution (per-packet RTT = now - send time,
+        // exact for the packet that triggered this ACK, a slight
+        // overestimate for ranges recovered via SACK blocks).
+        if self.uses_mi {
+            for (seq, meta) in &outcome.acked {
+                let rtt = now.saturating_since(meta.sent_at);
+                self.subflows[sf]
+                    .mi
+                    .on_acked(*seq, meta.sent_at, rtt, meta.chunk.len);
+            }
+        }
+
+        // Loss detection.
+        let losses = self.subflows[sf].scoreboard.detect_losses();
+        let mut congestion_event = false;
+        for (seq, meta) in &losses {
+            self.conn.requeue(meta.chunk);
+            if self.uses_mi {
+                self.subflows[sf].mi.on_lost(*seq);
+            }
+            if *seq >= self.subflows[sf].recovery_until {
+                congestion_event = true;
+            }
+        }
+        if congestion_event {
+            self.subflows[sf].recovery_until = self.subflows[sf].scoreboard.next_seq();
+        }
+
+        // Controller callbacks.
+        if !outcome.acked.is_empty() {
+            let delivered = self.subflows[sf].scoreboard.delivered_bytes();
+            let bw = outcome
+                .acked
+                .iter()
+                .find(|(seq, _)| *seq == ack.ack_seq)
+                .or_else(|| outcome.acked.last())
+                .map(|(_, meta)| bw_sample(meta, delivered, now))
+                .unwrap_or(Rate::ZERO);
+            let info = AckInfo {
+                subflow: sf,
+                now,
+                acked_packets: outcome.acked.len() as u64,
+                acked_bytes: outcome.acked_bytes,
+                rtt: outcome.rtt_sample.unwrap_or_else(|| self.subflows[sf].rtt.latest()),
+                srtt: self.subflows[sf].srtt(),
+                min_rtt: self.subflows[sf].rtt.min_rtt(),
+                bw_sample: bw,
+                inflight_bytes: self.subflows[sf].scoreboard.inflight_bytes(),
+            };
+            self.cc.on_ack(&info);
+        }
+        if congestion_event {
+            let info = LossInfo {
+                subflow: sf,
+                now,
+                lost_packets: losses.len() as u64,
+                inflight_bytes: self.subflows[sf].scoreboard.inflight_bytes(),
+            };
+            self.cc.on_loss(&info);
+        }
+
+        // Data-level progress / completion.
+        if self.conn.on_data_ack(ack.data_acked, ack.rcv_window, now) {
+            self.done = true;
+            return;
+        }
+
+        if self.uses_mi {
+            self.deliver_mi_reports(sf, now);
+        } else if self.rate_based {
+            // Continuous rate controllers (BBR) update pacing on every ACK.
+            if let Some(rate) = self.cc.pacing_rate(sf) {
+                self.subflows[sf].pacing_rate = rate;
+            }
+        }
+
+        self.arm_rto(sf, ctx);
+        self.pump(ctx);
+    }
+}
+
+impl Endpoint for MpSender {
+    fn start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.cfg.start_at > ctx.now() {
+            let at = self.cfg.start_at;
+            ctx.set_timer(at, token(K_START, 0, 0));
+        } else {
+            self.begin(ctx);
+        }
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if pkt.ack().is_some() {
+            self.on_ack(&pkt, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, tok: u64, ctx: &mut Ctx<'_>) {
+        let (kind, sf, epoch) = untoken(tok);
+        match kind {
+            K_START => {
+                if !self.started {
+                    self.begin(ctx);
+                }
+            }
+            K_PACE => self.on_pace(sf, epoch, ctx),
+            K_MI => {
+                if self.done || !self.uses_mi {
+                    return;
+                }
+                // Stale if a different MI is already running.
+                if self.subflows[sf].mi.current_id() != Some(epoch) {
+                    return;
+                }
+                self.begin_mi(sf, ctx);
+                self.pump(ctx);
+            }
+            K_RTO => self.on_rto_timer(sf, ctx),
+            K_APP => {
+                if !self.done && self.started {
+                    self.arm_app_timer(ctx);
+                    self.pump(ctx);
+                }
+            }
+            _ => unreachable!("unknown timer token kind {kind}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,61 @@
+//! Fault injection: how each multipath protocol copes with non-congestion
+//! loss (§7.2.2) — sweep the random-loss rate of one path and watch the
+//! loss-based MPTCP family collapse while MPCC keeps the link busy.
+//!
+//! ```sh
+//! cargo run --release --example lossy_link [loss_percent...]
+//! ```
+
+use mpcc_experiments::protocols;
+use mpcc_netsim::link::LinkParams;
+use mpcc_netsim::topology::parallel_links;
+use mpcc_simcore::SimTime;
+use mpcc_transport::{MpReceiver, MpSender, SenderConfig};
+
+fn goodput(proto: &str, loss: f64) -> f64 {
+    let links = [
+        LinkParams::paper_default().with_random_loss(loss),
+        LinkParams::paper_default(),
+    ];
+    let mut net = parallel_links(3, &links);
+    let p0 = net.path(0);
+    let p1 = net.path(1);
+    let mut sim = net.sim;
+    let recv = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
+    let cfg = SenderConfig::bulk(recv, vec![p0, p1])
+        .with_scheduler(protocols::scheduler_for(proto));
+    let sender = sim.add_endpoint(Box::new(MpSender::new(cfg, protocols::make(proto, 5))));
+    sim.run_until(SimTime::from_secs(10));
+    let warm = sim.endpoint::<MpSender>(sender).data_acked();
+    sim.run_until(SimTime::from_secs(40));
+    let total = sim.endpoint::<MpSender>(sender).data_acked();
+    (total - warm) as f64 * 8.0 / 30.0 / 1e6
+}
+
+fn main() {
+    let losses: Vec<f64> = {
+        let args: Vec<f64> = std::env::args()
+            .skip(1)
+            .map(|a| a.parse::<f64>().expect("loss % as a number") / 100.0)
+            .collect();
+        if args.is_empty() {
+            vec![0.0, 0.0001, 0.001, 0.01, 0.05]
+        } else {
+            args
+        }
+    };
+    let protos = ["mpcc-loss", "lia", "olia", "balia", "bbr"];
+    print!("{:>9}", "loss");
+    for p in protos {
+        print!("  {p:>10}");
+    }
+    println!("\n{}", "-".repeat(9 + protos.len() * 12));
+    for loss in losses {
+        print!("{:>8.3}%", loss * 100.0);
+        for p in protos {
+            print!("  {:>10.1}", goodput(p, loss));
+        }
+        println!();
+    }
+    println!("\n(goodput in Mbps of one 2-subflow connection over 2×100 Mb/s; loss on link 1 only)");
+}

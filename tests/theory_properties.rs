@@ -1,0 +1,117 @@
+//! Property-based tests of the theory module: the LMMF oracle's defining
+//! properties and the agreement between fluid-model equilibria and the
+//! oracle (Theorems 4.1/5.1/5.2) on randomized parallel-link networks.
+
+use mpcc::theory::{
+    fluid_converge, is_equilibrium, lmmf_allocation, lmmf_with_flows, totals, ParallelNetSpec,
+};
+use mpcc::UtilityParams;
+use proptest::prelude::*;
+
+/// Strategy: a random parallel-link network with 1–4 links of 10–200 Mbps
+/// and 1–4 connections over non-empty link subsets.
+fn arb_spec() -> impl Strategy<Value = ParallelNetSpec> {
+    (1usize..=4, 1usize..=4).prop_flat_map(|(m, n)| {
+        (
+            proptest::collection::vec(10.0f64..200.0, m),
+            proptest::collection::vec(proptest::collection::vec(0usize..m, 1..=m), n),
+        )
+            .prop_map(|(capacities, conns)| ParallelNetSpec { capacities, conns })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The LMMF allocation is feasible: some flow assignment realizes it
+    /// within link capacities, and no connection exceeds the capacity of
+    /// its accessible links.
+    #[test]
+    fn lmmf_is_feasible(spec in arb_spec()) {
+        let (tot, flows) = lmmf_with_flows(&spec);
+        for (l, &cap) in spec.capacities.iter().enumerate() {
+            let used: f64 = flows.iter().map(|f| f[l]).sum();
+            prop_assert!(used <= cap + 0.01, "link {l}: {used} > {cap}");
+        }
+        for (i, t) in tot.iter().enumerate() {
+            let flow_sum: f64 = flows[i].iter().sum();
+            prop_assert!((flow_sum - t).abs() < 0.01);
+            let reach: f64 = {
+                let mut links = spec.conns[i].clone();
+                links.sort_unstable();
+                links.dedup();
+                links.iter().map(|&l| spec.capacities[l]).sum()
+            };
+            prop_assert!(*t <= reach + 0.01);
+        }
+    }
+
+    /// Water-filling property: no connection can be raised without lowering
+    /// a connection that is no better off (the max-min criterion). We check
+    /// the simplest consequence: every connection is "blocked" by a
+    /// saturated link or achieves the best rate among its competitors on
+    /// some link it uses.
+    #[test]
+    fn lmmf_no_strict_pareto_waste(spec in arb_spec()) {
+        let (tot, flows) = lmmf_with_flows(&spec);
+        for i in 0..spec.conns.len() {
+            let mut links = spec.conns[i].clone();
+            links.sort_unstable();
+            links.dedup();
+            // A connection with spare capacity on every link it uses would
+            // contradict max-min fairness.
+            let all_spare = links.iter().all(|&l| {
+                let used: f64 = flows.iter().map(|f| f[l]).sum();
+                used < spec.capacities[l] - 0.01
+            });
+            prop_assert!(!all_spare, "conn {i} ({:?} Mbps) wastes capacity", tot[i]);
+        }
+    }
+
+    /// Scaling all capacities scales the allocation (LMMF is homogeneous).
+    #[test]
+    fn lmmf_scales_with_capacity(spec in arb_spec(), k in 1.5f64..3.0) {
+        let base = lmmf_allocation(&spec);
+        let scaled_spec = ParallelNetSpec {
+            capacities: spec.capacities.iter().map(|c| c * k).collect(),
+            conns: spec.conns.clone(),
+        };
+        let scaled = lmmf_allocation(&scaled_spec);
+        for (b, s) in base.iter().zip(&scaled) {
+            prop_assert!((s - b * k).abs() < 0.05 * b.max(1.0), "{b} * {k} vs {s}");
+        }
+    }
+
+    /// Theorem 5.2 (numerically): fluid gradient dynamics from a random
+    /// start reach an approximate equilibrium whose totals are within a
+    /// small band of the LMMF oracle.
+    #[test]
+    fn fluid_equilibria_are_approximately_lmmf(
+        spec in arb_spec(),
+        start_scale in 1.0f64..30.0,
+    ) {
+        let p = UtilityParams::mpcc_loss();
+        let start: Vec<Vec<f64>> = spec
+            .conns
+            .iter()
+            .map(|links| links.iter().map(|_| start_scale).collect())
+            .collect();
+        let rates = fluid_converge(&p, &spec, &start, 30_000, 0.5);
+        // Finite-step dynamics park O(η) above the loss kink, where a
+        // deviating subflow can still harvest a few utility units by
+        // vacating a slightly-overloaded link; 2-approximate equilibrium
+        // is the right notion at this step size.
+        prop_assert!(is_equilibrium(&p, &spec, &rates, 2.0, 2.0), "{rates:?}");
+        let opt = lmmf_allocation(&spec);
+        for (i, (got, want)) in totals(&rates).iter().zip(&opt).enumerate() {
+            // The β>3 loss floor permits a bounded overshoot band around
+            // the exact LMMF point (the paper's equilibria sit at links
+            // loaded to ≤ c·(1+1/(β−2))).
+            let tol = (0.12 * want).max(8.0);
+            prop_assert!(
+                (got - want).abs() <= tol,
+                "conn {i}: fluid {got:.1} vs LMMF {want:.1} in {spec:?}"
+            );
+        }
+    }
+}
