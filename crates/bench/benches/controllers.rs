@@ -21,9 +21,11 @@ fn ack(subflow: usize, i: u64) -> AckInfo {
     }
 }
 
+type CcCtor = fn() -> Box<dyn MultipathCc>;
+
 fn bench_window_family(c: &mut Criterion) {
     let mut group = c.benchmark_group("on_ack_1k");
-    let ctors: Vec<(&str, fn() -> Box<dyn MultipathCc>)> = vec![
+    let ctors: Vec<(&str, CcCtor)> = vec![
         ("reno", || Box::new(reno())),
         ("lia", || Box::new(lia())),
         ("olia", || Box::new(olia())),

@@ -64,7 +64,7 @@ fn bench_link(c: &mut Criterion) {
                             now = t;
                         }
                     }
-                    Admission::Dropped => unreachable!(),
+                    Admission::Dropped(_) => unreachable!(),
                 }
             }
             black_box(link.stats().delivered_packets)

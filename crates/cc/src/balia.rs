@@ -99,9 +99,7 @@ mod tests {
         // decrease factor (balancing).
         let wins = {
             let mut cc = setup(&[5.0, 20.0], &[50, 50]);
-            (0..2)
-                .map(|i| cc.window_mut(i).clone())
-                .collect::<Vec<_>>()
+            (0..2).map(|i| cc.window_mut(i).clone()).collect::<Vec<_>>()
         };
         assert!((alpha_i(&wins, 0) - 4.0).abs() < 1e-9);
         assert!((alpha_i(&wins, 1) - 1.0).abs() < 1e-9);

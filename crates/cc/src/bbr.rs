@@ -129,7 +129,8 @@ impl BbrSf {
         if !info.bw_sample.is_zero() {
             self.bw.update(self.round, info.bw_sample);
         }
-        if info.rtt < self.min_rtt || info.now.saturating_since(self.min_rtt_stamp) > PROBE_RTT_INTERVAL
+        if info.rtt < self.min_rtt
+            || info.now.saturating_since(self.min_rtt_stamp) > PROBE_RTT_INTERVAL
         {
             self.min_rtt = info.min_rtt.min(info.rtt);
             self.min_rtt_stamp = info.now;

@@ -112,8 +112,10 @@ mod tests {
         // α is driven by the best w/rtt² path.
         let fast = setup(&[10.0, 10.0], &[10, 100]);
         let slow = setup(&[10.0, 10.0], &[100, 100]);
-        assert!(lia_alpha(&[fast.window(0).clone(), fast.window(1).clone()])
-            > lia_alpha(&[slow.window(0).clone(), slow.window(1).clone()]));
+        assert!(
+            lia_alpha(&[fast.window(0).clone(), fast.window(1).clone()])
+                > lia_alpha(&[slow.window(0).clone(), slow.window(1).clone()])
+        );
     }
 
     #[test]
@@ -124,7 +126,11 @@ mod tests {
             let before = cc.window(0).cwnd;
             cc.on_ack(&test_ack(0, 1, r0));
             let inc = cc.window(0).cwnd - before;
-            assert!(inc <= 1.0 / before + 1e-12, "inc {inc} vs reno {}", 1.0 / before);
+            assert!(
+                inc <= 1.0 / before + 1e-12,
+                "inc {inc} vs reno {}",
+                1.0 / before
+            );
         }
     }
 }

@@ -55,7 +55,7 @@ impl MpCubic {
 
     fn scaled_c(&self) -> f64 {
         let d = self.sfs.len().max(1) as f64;
-        C / d.powf(COUPLING).max(1.0).min(64.0)
+        C / d.powf(COUPLING).clamp(1.0, 64.0)
     }
 }
 

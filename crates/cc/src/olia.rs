@@ -72,10 +72,16 @@ impl OliaRule {
             .map(|i| ells[i] * ells[i] / wins[i].rtt_secs())
             .collect();
         let best_q = quality.iter().cloned().fold(f64::MIN, f64::max);
-        let in_b: Vec<bool> = quality.iter().map(|&q| q >= best_q * (1.0 - 1e-9)).collect();
+        let in_b: Vec<bool> = quality
+            .iter()
+            .map(|&q| q >= best_q * (1.0 - 1e-9))
+            .collect();
         // Max-window paths.
         let max_w = wins.iter().map(|w| w.cwnd).fold(f64::MIN, f64::max);
-        let in_m: Vec<bool> = wins.iter().map(|w| w.cwnd >= max_w * (1.0 - 1e-9)).collect();
+        let in_m: Vec<bool> = wins
+            .iter()
+            .map(|w| w.cwnd >= max_w * (1.0 - 1e-9))
+            .collect();
         let b_minus_m: Vec<usize> = (0..d).filter(|&i| in_b[i] && !in_m[i]).collect();
         let m: Vec<usize> = (0..d).filter(|&i| in_m[i]).collect();
         let mut alphas = vec![0.0; d];

@@ -164,7 +164,7 @@ mod tests {
         let mut cc = WVegas::new();
         cc.init_subflow(0, SimTime::ZERO);
         cc.sfs[0].win.ssthresh = 1.0; // force congestion avoidance
-        // RTT equals base RTT: zero backlog, below alpha → +1.
+                                      // RTT equals base RTT: zero backlog, below alpha → +1.
         cc.on_ack(&ack(0, 0, 50, 50));
         let w0 = cc.window(0).cwnd;
         cc.on_ack(&ack(0, 100, 50, 50));

@@ -124,8 +124,7 @@ impl ConnectionLevel {
             let [up, down] = self.probe_utilities[dim];
             let g = (up.expect("checked") - down.expect("checked")) / (2.0 * self.omega);
             let step = (self.theta * g).clamp(-bound, bound);
-            self.rates[dim] =
-                (self.rates[dim] + step).clamp(self.cfg.min_rate, self.cfg.max_rate);
+            self.rates[dim] = (self.rates[dim] + step).clamp(self.cfg.min_rate, self.cfg.max_rate);
         }
         self.plan_cycle();
     }
@@ -177,8 +176,9 @@ impl MultipathCc for ConnectionLevel {
             _ => Step::Hold,
         };
         let rate = match step {
-            Step::Probe { dir, .. } => (self.rates[subflow] + dir * self.omega)
-                .clamp(self.cfg.min_rate, self.cfg.max_rate),
+            Step::Probe { dir, .. } => {
+                (self.rates[subflow] + dir * self.omega).clamp(self.cfg.min_rate, self.cfg.max_rate)
+            }
             Step::Hold => self.rates[subflow],
         };
         self.issued[subflow].push_back(Issued { step, rate });

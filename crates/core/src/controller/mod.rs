@@ -6,6 +6,7 @@ pub mod state;
 use crate::utility::UtilityParams;
 use mpcc_netsim::MSS_PAYLOAD;
 use mpcc_simcore::{Rate, SimDuration, SimRng, SimTime};
+use mpcc_telemetry::{ControllerEvent, Layer, Tracer};
 use mpcc_transport::{MiReport, MultipathCc};
 use state::{MiOutcome, StateConfig, SubflowCtl};
 
@@ -70,6 +71,11 @@ pub struct Mpcc {
     /// published rate (Mbps), written at each of its MI starts.
     published: Vec<f64>,
     rng: SimRng,
+    /// Trace handle (off by default; installed via `set_tracer`). Tracing
+    /// is observation-free: it never touches `rng` or the control state.
+    tracer: Tracer,
+    /// Connection id stamped onto emitted controller events.
+    conn: u64,
 }
 
 impl Mpcc {
@@ -85,6 +91,8 @@ impl Mpcc {
             subflows: Vec::new(),
             published: Vec::new(),
             rng: SimRng::seed_from_u64(cfg.seed),
+            tracer: Tracer::off(),
+            conn: 0,
             cfg,
         }
     }
@@ -131,16 +139,16 @@ impl MultipathCc for Mpcc {
         }
     }
 
+    fn set_tracer(&mut self, tracer: Tracer, conn: u64) {
+        self.tracer = tracer;
+        self.conn = conn;
+    }
+
     fn uses_mi(&self) -> bool {
         true
     }
 
-    fn mi_duration(
-        &mut self,
-        _subflow: usize,
-        srtt: SimDuration,
-        rng: &mut SimRng,
-    ) -> SimDuration {
+    fn mi_duration(&mut self, _subflow: usize, srtt: SimDuration, rng: &mut SimRng) -> SimDuration {
         // One RTT with jitter, floored at 1 ms: low enough that data-center
         // RTTs still get frequent decisions, high enough for meaningful
         // per-MI statistics.
@@ -148,7 +156,7 @@ impl MultipathCc for Mpcc {
         base.mul_f64(rng.range_f64(1.0, 1.1))
     }
 
-    fn begin_mi(&mut self, subflow: usize, _now: SimTime) -> Rate {
+    fn begin_mi(&mut self, subflow: usize, now: SimTime) -> Rate {
         let others: f64 = self
             .published
             .iter()
@@ -161,6 +169,18 @@ impl MultipathCc for Mpcc {
         // Rate-publication point: the chosen rate becomes visible to the
         // other subflows' future utility computations.
         self.published[subflow] = issued.rate;
+        self.tracer
+            .emit_with(Layer::Controller, now, || ControllerEvent::MiStart {
+                conn: self.conn,
+                subflow: subflow as u32,
+                rate_mbps: issued.rate,
+            });
+        self.tracer
+            .emit_with(Layer::Controller, now, || ControllerEvent::RatePublished {
+                conn: self.conn,
+                subflow: subflow as u32,
+                rate_mbps: issued.rate,
+            });
         Rate::from_mbps(issued.rate)
     }
 
@@ -179,13 +199,57 @@ impl MultipathCc for Mpcc {
             app_limited: report.app_limited || report.sent_packets == 0,
         };
         let total = self.total_published();
-        self.subflows[report.subflow].on_report(outcome, total, &mut self.rng);
+        let before = self.subflows[report.subflow].rate();
+        let action = self.subflows[report.subflow].on_report(outcome, total, &mut self.rng);
+        let after = self.subflows[report.subflow].rate();
+        let ctl = &self.subflows[report.subflow];
+        self.tracer
+            .emit_with(Layer::Controller, report.completed_at, || {
+                ControllerEvent::MiEnd {
+                    conn: self.conn,
+                    subflow: report.subflow as u32,
+                    goodput_mbps: report.goodput.mbps(),
+                    loss_rate: report.loss_rate,
+                    utility: ctl.last_utility(),
+                    action: action.label(),
+                }
+            });
+        if after != before {
+            self.tracer
+                .emit_with(Layer::Controller, report.completed_at, || {
+                    ControllerEvent::RateStep {
+                        conn: self.conn,
+                        subflow: report.subflow as u32,
+                        from_mbps: before,
+                        to_mbps: after,
+                        gradient_sign: if after > before { 1 } else { -1 },
+                    }
+                });
+        }
     }
 
-    fn on_rto(&mut self, subflow: usize, _now: SimTime) {
+    fn on_rto(&mut self, subflow: usize, now: SimTime) {
         let total = self.total_published();
+        let before = self.subflows[subflow].rate();
         self.subflows[subflow].on_rto(total, &mut self.rng);
-        self.published[subflow] = self.subflows[subflow].rate();
+        let after = self.subflows[subflow].rate();
+        self.published[subflow] = after;
+        if after != before {
+            self.tracer
+                .emit_with(Layer::Controller, now, || ControllerEvent::RateStep {
+                    conn: self.conn,
+                    subflow: subflow as u32,
+                    from_mbps: before,
+                    to_mbps: after,
+                    gradient_sign: if after > before { 1 } else { -1 },
+                });
+        }
+        self.tracer
+            .emit_with(Layer::Controller, now, || ControllerEvent::RatePublished {
+                conn: self.conn,
+                subflow: subflow as u32,
+                rate_mbps: after,
+            });
     }
 
     fn cwnd_bytes(&self, subflow: usize, srtt: SimDuration) -> u64 {

@@ -151,6 +151,10 @@ pub struct SubflowCtl {
     discard: usize,
     /// Diagnostics: decisions taken.
     pub decisions: u64,
+    /// Utility computed from the most recent non-discarded report
+    /// (`None` when the last report carried no utility: app-limited,
+    /// discarded, or no interval outstanding). Telemetry reads this.
+    last_utility: Option<f64>,
 }
 
 impl SubflowCtl {
@@ -167,6 +171,7 @@ impl SubflowCtl {
             issued: VecDeque::new(),
             discard: 0,
             decisions: 0,
+            last_utility: None,
         }
     }
 
@@ -183,6 +188,11 @@ impl SubflowCtl {
     /// `true` while in the moving phase.
     pub fn is_moving(&self) -> bool {
         matches!(self.phase, Phase::Moving { .. })
+    }
+
+    /// Utility value of the most recent report that carried one.
+    pub fn last_utility(&self) -> Option<f64> {
+        self.last_utility
     }
 
     fn clamp(&self, r: f64) -> f64 {
@@ -246,8 +256,7 @@ impl SubflowCtl {
             Phase::Probing { plan, omega, .. } => {
                 if let Some(dir) = plan.first().copied() {
                     plan.remove(0);
-                    let rate =
-                        (base_rate + dir as f64 * *omega).clamp(min_rate, max_rate);
+                    let rate = (base_rate + dir as f64 * *omega).clamp(min_rate, max_rate);
                     Issued {
                         purpose: Purpose::Probe { dir },
                         rate,
@@ -279,6 +288,7 @@ impl SubflowCtl {
         total_published: f64,
         rng: &mut SimRng,
     ) -> ReportAction {
+        self.last_utility = None;
         let Some(issued) = self.issued.pop_front() else {
             return ReportAction::Ignored;
         };
@@ -297,7 +307,10 @@ impl SubflowCtl {
         // Effective rate: the commanded rate, discounted when the transport
         // could not actually reach it (window-limited, pacer gaps).
         let x = if outcome.achieved > 0.0 {
-            issued.rate.min(outcome.achieved * 1.05).max(self.cfg.min_rate)
+            issued
+                .rate
+                .min(outcome.achieved * 1.05)
+                .max(self.cfg.min_rate)
         } else {
             issued.rate
         };
@@ -308,6 +321,7 @@ impl SubflowCtl {
             outcome.loss,
             outcome.lat_gradient,
         );
+        self.last_utility = Some(u);
 
         // Take the phase out so decision handling can freely mutate `self`.
         let phase = std::mem::replace(
@@ -397,8 +411,7 @@ impl SubflowCtl {
                 self.decisions += 1;
                 if u < prev.1 {
                     // Swing buffer: contract the change bound and re-probe.
-                    self.bound_frac =
-                        (self.bound_frac / 2.0).max(self.cfg.min_change_bound_frac);
+                    self.bound_frac = (self.bound_frac / 2.0).max(self.cfg.min_change_bound_frac);
                     self.new_probe_plan(total_published, 0, rng);
                     ReportAction::ExitedMoving
                 } else {
@@ -418,8 +431,7 @@ impl SubflowCtl {
                     };
                     self.rate = self.clamp(self.rate + dir * step);
                     // Gentle bound recovery on sustained progress.
-                    self.bound_frac =
-                        (self.bound_frac * 1.1).min(self.cfg.change_bound_frac);
+                    self.bound_frac = (self.bound_frac * 1.1).min(self.cfg.change_bound_frac);
                     ReportAction::Moved(dir * step)
                 }
             }
@@ -438,13 +450,16 @@ impl SubflowCtl {
             .iter()
             .filter(|(d, _, _)| (*d as f64) * dir > 0.0)
             .map(|(_, u, x)| (*x, *u))
-            .fold((self.rate, f64::MIN), |acc, (x, u)| {
-                if u > acc.1 {
-                    (x, u)
-                } else {
-                    acc
-                }
-            });
+            .fold(
+                (self.rate, f64::MIN),
+                |acc, (x, u)| {
+                    if u > acc.1 {
+                        (x, u)
+                    } else {
+                        acc
+                    }
+                },
+            );
         self.rate = self.clamp(self.rate + dir * omega);
         self.phase = Phase::Moving {
             dir,
@@ -481,6 +496,22 @@ pub enum ReportAction {
     Moved(f64),
     /// The moving phase ended (utility decreased); probing begins.
     ExitedMoving,
+}
+
+impl ReportAction {
+    /// Stable snake_case label for trace output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReportAction::Ignored => "ignored",
+            ReportAction::Doubled => "doubled",
+            ReportAction::ExitedSlowStart => "exited_slow_start",
+            ReportAction::ProbeRecorded => "probe_recorded",
+            ReportAction::Decided(_) => "decided",
+            ReportAction::Inconclusive => "inconclusive",
+            ReportAction::Moved(_) => "moved",
+            ReportAction::ExitedMoving => "exited_moving",
+        }
+    }
 }
 
 #[cfg(test)]
@@ -593,9 +624,7 @@ mod tests {
         // Drive to a decision upward.
         loop {
             let issued = ctl.next_mi(0.0, ctl.rate(), &mut r);
-            if let ReportAction::Decided(_) =
-                ctl.on_report(good(issued.rate), ctl.rate(), &mut r)
-            {
+            if let ReportAction::Decided(_) = ctl.on_report(good(issued.rate), ctl.rate(), &mut r) {
                 break;
             }
         }
@@ -604,8 +633,7 @@ mod tests {
         let mut moved = 0;
         for _ in 0..10 {
             let issued = ctl.next_mi(0.0, ctl.rate(), &mut r);
-            if let ReportAction::Moved(step) =
-                ctl.on_report(good(issued.rate), ctl.rate(), &mut r)
+            if let ReportAction::Moved(step) = ctl.on_report(good(issued.rate), ctl.rate(), &mut r)
             {
                 assert!(step > 0.0);
                 moved += 1;
@@ -628,9 +656,7 @@ mod tests {
         run_slow_start(&mut ctl, 60.0, 100);
         loop {
             let issued = ctl.next_mi(0.0, ctl.rate(), &mut r);
-            if let ReportAction::Decided(_) =
-                ctl.on_report(good(issued.rate), ctl.rate(), &mut r)
-            {
+            if let ReportAction::Decided(_) = ctl.on_report(good(issued.rate), ctl.rate(), &mut r) {
                 break;
             }
         }

@@ -245,11 +245,7 @@ mod tests {
             capacities: vec![100.0, 100.0, 100.0],
             conns: vec![vec![0, 1], vec![1, 2], vec![2, 0]],
         };
-        let start = vec![
-            vec![30.0, 10.0],
-            vec![30.0, 10.0],
-            vec![30.0, 10.0],
-        ];
+        let start = vec![vec![30.0, 10.0], vec![30.0, 10.0], vec![30.0, 10.0]];
         let rates = fluid_converge(&p(), &spec, &start, 40_000, 0.5);
         assert!(is_lmmf(&spec, &rates, 10.0), "{:?}", totals(&rates));
     }

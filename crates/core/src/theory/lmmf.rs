@@ -182,7 +182,10 @@ mod tests {
             conns: vec![vec![0, 1], vec![0, 1]],
         };
         let totals = lmmf_allocation(&spec);
-        assert!(close(totals[0], 75.0) && close(totals[1], 75.0), "{totals:?}");
+        assert!(
+            close(totals[0], 75.0) && close(totals[1], 75.0),
+            "{totals:?}"
+        );
     }
 
     #[test]
@@ -256,9 +259,9 @@ mod tests {
         };
         let (totals, x) = lmmf_with_flows(&spec);
         // Per-link sums within capacity.
-        for l in 0..3 {
+        for (l, &cap) in spec.capacities.iter().enumerate() {
             let sum: f64 = (0..4).map(|i| x[i][l]).sum();
-            assert!(sum <= spec.capacities[l] + 0.01, "link {l}: {sum}");
+            assert!(sum <= cap + 0.01, "link {l}: {sum}");
         }
         // Per-connection flows add to the totals.
         for i in 0..4 {

@@ -152,10 +152,10 @@ mod tests {
         // The same +10 Mbps is worth less to a connection already sending a
         // lot elsewhere — the mechanism behind the Fig. 2 convergence story.
         let p = UtilityParams::mpcc_loss();
-        let gain_small = subflow_utility(&p, 20.0, 10.0, 0.0, 0.0)
-            - subflow_utility(&p, 10.0, 10.0, 0.0, 0.0);
-        let gain_big = subflow_utility(&p, 20.0, 200.0, 0.0, 0.0)
-            - subflow_utility(&p, 10.0, 200.0, 0.0, 0.0);
+        let gain_small =
+            subflow_utility(&p, 20.0, 10.0, 0.0, 0.0) - subflow_utility(&p, 10.0, 10.0, 0.0, 0.0);
+        let gain_big =
+            subflow_utility(&p, 20.0, 200.0, 0.0, 0.0) - subflow_utility(&p, 10.0, 200.0, 0.0, 0.0);
         assert!(gain_small > gain_big);
     }
 

@@ -1,14 +1,20 @@
 //! The experiments binary: `experiments <id>... [--full] [--seed N]
-//! [--runs N] [--out DIR]`, or `experiments all` / `experiments list`.
+//! [--runs N] [--out DIR] [--trace FILE] [--trace-filter LAYERS]`, or
+//! `experiments all` / `experiments list`.
 
 use mpcc_experiments::scenarios::{self, ALL};
-use mpcc_experiments::ExpConfig;
+use mpcc_experiments::{runner, ExpConfig};
+use mpcc_telemetry::{CsvSink, JsonlSink, LayerMask, TraceSink, Tracer};
+use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = ExpConfig::default();
     let mut ids: Vec<String> = Vec::new();
+    let mut trace_path: Option<String> = None;
+    let mut trace_mask = LayerMask::ALL;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -28,6 +34,16 @@ fn main() {
             "--out" => {
                 cfg.out_dir = it.next().expect("--out needs a directory").into();
             }
+            "--trace" => {
+                trace_path = Some(it.next().expect("--trace needs a file path"));
+            }
+            "--trace-filter" => {
+                let spec = it.next().expect("--trace-filter needs layers");
+                trace_mask = LayerMask::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("--trace-filter: {e}");
+                    std::process::exit(2);
+                });
+            }
             "list" => {
                 println!("available experiments: {}", ALL.join(" "));
                 return;
@@ -38,12 +54,22 @@ fn main() {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments <id>... | all | list  [--full] [--seed N] [--runs N] [--out DIR]"
+            "usage: experiments <id>... | all | list  [--full] [--seed N] [--runs N] [--out DIR] \
+             [--trace FILE] [--trace-filter controller,transport,link]"
         );
         eprintln!("ids: {}", ALL.join(" "));
         std::process::exit(2);
     }
     ids.dedup();
+    if let Some(path) = &trace_path {
+        let path = Path::new(path);
+        let sink: Arc<dyn TraceSink> = if path.extension().is_some_and(|e| e == "csv") {
+            Arc::new(CsvSink::create(path).expect("--trace: cannot create file"))
+        } else {
+            Arc::new(JsonlSink::create(path).expect("--trace: cannot create file"))
+        };
+        runner::install_tracer(Tracer::new(sink, trace_mask));
+    }
     for id in ids {
         let start = Instant::now();
         eprintln!(">>> running {id} (full={}, seed={})", cfg.full, cfg.seed);
@@ -53,4 +79,5 @@ fn main() {
         }
         eprintln!("<<< {id} done in {:.1}s", start.elapsed().as_secs_f64());
     }
+    runner::tracer().flush();
 }

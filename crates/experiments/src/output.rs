@@ -6,7 +6,7 @@ use std::io::Write;
 use std::path::Path;
 
 /// A reproduced table/figure: a titled grid of values.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Figure {
     /// Experiment id, e.g. "fig5a".
     pub id: String,
@@ -94,10 +94,64 @@ impl Figure {
         for row in &self.rows {
             writeln!(csv, "{}", row.join(","))?;
         }
-        let json = fs::File::create(dir.join(format!("{}.json", self.id)))?;
-        serde_json::to_writer_pretty(json, self)?;
+        let mut json = fs::File::create(dir.join(format!("{}.json", self.id)))?;
+        json.write_all(self.to_json().as_bytes())?;
         Ok(())
     }
+
+    /// Serializes the figure as pretty-printed JSON (hand-rolled: the
+    /// workspace builds offline, without serde).
+    fn to_json(&self) -> String {
+        let str_array = |items: &[String], indent: &str| -> String {
+            if items.is_empty() {
+                return "[]".to_string();
+            }
+            let body: Vec<String> = items
+                .iter()
+                .map(|s| format!("{indent}  {}", json_string(s)))
+                .collect();
+            format!("[\n{}\n{indent}]", body.join(",\n"))
+        };
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_string(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        out.push_str(&format!(
+            "  \"columns\": {},\n",
+            str_array(&self.columns, "  ")
+        ));
+        if self.rows.is_empty() {
+            out.push_str("  \"rows\": [],\n");
+        } else {
+            let rows: Vec<String> = self
+                .rows
+                .iter()
+                .map(|r| format!("    {}", str_array(r, "    ")))
+                .collect();
+            out.push_str(&format!("  \"rows\": [\n{}\n  ],\n", rows.join(",\n")));
+        }
+        out.push_str(&format!("  \"notes\": {}\n", str_array(&self.notes, "  ")));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Quotes and escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Formats a float with 2 decimals.

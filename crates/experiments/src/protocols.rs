@@ -43,8 +43,9 @@ pub fn make(name: &str, seed: u64) -> Box<dyn MultipathCc> {
 /// window-based ones).
 pub fn scheduler_for(name: &str) -> SchedulerKind {
     match name {
-        "mpcc-loss" | "mpcc-latency" | "mpcc-conn-level" | "vivace" | "vivace-latency"
-        | "bbr" => SchedulerKind::paper_rate_based(),
+        "mpcc-loss" | "mpcc-latency" | "mpcc-conn-level" | "vivace" | "vivace-latency" | "bbr" => {
+            SchedulerKind::paper_rate_based()
+        }
         _ => SchedulerKind::Default,
     }
 }

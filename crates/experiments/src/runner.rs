@@ -8,7 +8,25 @@ use mpcc_netsim::link::{LinkParams, LinkStats};
 use mpcc_netsim::topology::parallel_links;
 use mpcc_netsim::EndpointId;
 use mpcc_simcore::{rng::splitmix64, SimDuration, SimTime};
+use mpcc_telemetry::Tracer;
 use mpcc_transport::{MpReceiver, MpSender, SenderConfig, Workload};
+use std::sync::OnceLock;
+
+/// The process-wide tracer installed by the binary's `--trace` flag.
+/// `Tracer::off()` (the default when nothing is installed) makes every
+/// emission a no-op, so untraced runs pay nothing.
+static TRACER: OnceLock<Tracer> = OnceLock::new();
+
+/// Installs the process-wide tracer attached to every scenario run.
+/// Call at most once, before any [`run`]; later calls are ignored.
+pub fn install_tracer(tracer: Tracer) {
+    let _ = TRACER.set(tracer);
+}
+
+/// The installed tracer, or an off tracer when none was installed.
+pub fn tracer() -> Tracer {
+    TRACER.get().cloned().unwrap_or_default()
+}
 
 /// One connection of a scenario.
 #[derive(Clone, Debug)]
@@ -144,6 +162,7 @@ pub fn run(sc: &Scenario) -> RunResult {
         sim_paths.push(paths);
     }
     let mut sim = net.sim;
+    sim.set_tracer(tracer());
     for (t, link, params) in &sc.link_changes {
         sim.schedule_link_change(*t, net.links[*link], *params);
     }
@@ -221,6 +240,7 @@ pub fn run(sc: &Scenario) -> RunResult {
     }
     let total = conns.iter().map(|c| c.goodput_mbps).sum();
     let links = net.links.iter().map(|&l| sim.link_stats(l)).collect();
+    tracer().flush();
     RunResult {
         conns,
         links,

@@ -56,11 +56,7 @@ fn topologies() -> Vec<Topo> {
             // Fig. 4b, the LIA topology: three MPs in a cycle.
             name: "LIA",
             n_links: 3,
-            conns: vec![
-                (true, vec![0, 1]),
-                (true, vec![1, 2]),
-                (true, vec![2, 0]),
-            ],
+            conns: vec![(true, vec![0, 1]), (true, vec![1, 2]), (true, vec![2, 0])],
         },
     ]
 }
@@ -88,7 +84,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
                 .conns
                 .iter()
                 .map(|(is_mp, links)| {
-                    let p = if *is_mp { proto } else { single_path_peer(proto) };
+                    let p = if *is_mp {
+                        proto
+                    } else {
+                        single_path_peer(proto)
+                    };
                     ConnSpec::bulk(p, links.clone())
                 })
                 .collect();

@@ -72,7 +72,9 @@ fn run_sweep(
 /// Fig. 12 (buffer sweep).
 pub fn run_fig12(cfg: &ExpConfig) -> Vec<Figure> {
     let buffers: Vec<u64> = if cfg.full {
-        vec![3_000, 9_000, 30_000, 60_000, 150_000, 375_000, 1_000_000, 10_000_000]
+        vec![
+            3_000, 9_000, 30_000, 60_000, 150_000, 375_000, 1_000_000, 10_000_000,
+        ]
     } else {
         vec![9_000, 60_000, 375_000, 1_000_000]
     };

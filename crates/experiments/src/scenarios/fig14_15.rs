@@ -135,7 +135,9 @@ fn run_grid(cfg: &ExpConfig, id: &str, topology_3d: bool) -> Vec<Figure> {
     ratio_stats(&mut fig, "fairness_vs_lia", &jain_vs_lia);
     ratio_stats(&mut fig, "fairness_vs_olia", &jain_vs_olia);
     if !cfg.full {
-        fig.note("reduced mode: every 9th of the 576 configurations; pass --full for the whole grid");
+        fig.note(
+            "reduced mode: every 9th of the 576 configurations; pass --full for the whole grid",
+        );
     }
     // Surface the worst configuration for the §7.2.7 discussion.
     worst.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));

@@ -50,11 +50,7 @@ fn base_rtt_ms(home: &str, server: &str) -> u64 {
         ("Illinois", [15, 160, 100, 160, 110, 60]),
     ];
     let idx = SERVERS.iter().position(|s| *s == server).expect("server");
-    table
-        .iter()
-        .find(|(h, _)| *h == home)
-        .expect("home")
-        .1[idx]
+    table.iter().find(|(h, _)| *h == home).expect("home").1[idx]
 }
 
 /// The WiFi-like access path: decent bandwidth, shallow buffer, some loss.
@@ -93,7 +89,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
         let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
         let mut fig = Figure::new(
             &format!("fig16-{}", home.to_lowercase()),
-            &format!("download time (s) of a {} MB file to {home} over WiFi+LTE", file_bytes / 1_000_000),
+            &format!(
+                "download time (s) of a {} MB file to {home} over WiFi+LTE",
+                file_bytes / 1_000_000
+            ),
             &col_refs,
         );
         let mut proto_times: Vec<Vec<f64>> = vec![Vec::new(); PROTOCOLS.len()];
@@ -104,7 +103,9 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
                 let sc = Scenario::new(
                     splitmix64(
                         cfg.seed
-                            ^ splitmix64(0x1617 ^ ((hi as u64) << 40) ^ ((si as u64) << 20) ^ pi as u64),
+                            ^ splitmix64(
+                                0x1617 ^ ((hi as u64) << 40) ^ ((si as u64) << 20) ^ pi as u64,
+                            ),
                     ),
                     vec![wifi_path(rtt), lte_path(rtt)],
                     vec![ConnSpec {
@@ -124,7 +125,9 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
             }
             fig.row(row);
         }
-        fig.note("synthetic WiFi (30 Mbps, 0.3% loss) + LTE (18 Mbps, +40 ms, 0.8% loss) access paths");
+        fig.note(
+            "synthetic WiFi (30 Mbps, 0.3% loss) + LTE (18 Mbps, +40 ms, 0.8% loss) access paths",
+        );
         figs.push(fig);
         per_home_means.push(
             proto_times
@@ -147,8 +150,8 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
     for (hi, home) in HOMES.iter().enumerate() {
         let mpcc_mean = per_home_means[hi][0];
         let mut row = vec![home.to_string()];
-        for pi in 0..PROTOCOLS.len() {
-            row.push(f2(mpcc_mean / per_home_means[hi][pi]));
+        for mean in per_home_means[hi].iter().take(PROTOCOLS.len()) {
+            row.push(f2(mpcc_mean / mean));
         }
         fig17a.row(row);
     }

@@ -40,7 +40,11 @@ struct FlowSpec {
 fn workload(cfg: &ExpConfig, hosts: usize, seed: u64) -> Vec<FlowSpec> {
     let mut rng = SimRng::seed_from_u64(seed);
     let (n_long, n_med, n_short) = cfg.scale((2, 5, 8), (4, 10, 20));
-    let (long_b, med_b, short_b) = (cfg.scale(50_000_000u64, 200_000_000), 1_000_000u64, 10_000u64);
+    let (long_b, med_b, short_b) = (
+        cfg.scale(50_000_000u64, 200_000_000),
+        1_000_000u64,
+        10_000u64,
+    );
     let mut flows = Vec::new();
     let pick_dst = |src: usize, rng: &mut SimRng| loop {
         let d = rng.index(hosts);

@@ -29,7 +29,9 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
         }
         y += step;
     }
-    field.note("positive derivatives below capacity; PCC's exceeds MPCC's (it has no bandwidth elsewhere)");
+    field.note(
+        "positive derivatives below capacity; PCC's exceeds MPCC's (it has no bandwidth elsewhere)",
+    );
 
     // The trajectory the arrows trace: fluid dynamics from a low start.
     let spec = ParallelNetSpec {
@@ -39,7 +41,12 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
     let mut traj = Figure::new(
         "fig2-trajectory",
         "fluid-model trajectory to the equilibrium (red dot)",
-        &["iterations", "mpcc_shared_mbps", "mpcc_own_mbps", "pcc_mbps"],
+        &[
+            "iterations",
+            "mpcc_shared_mbps",
+            "mpcc_own_mbps",
+            "pcc_mbps",
+        ],
     );
     let start = vec![vec![10.0, 10.0], vec![10.0]];
     for &iters in &[0usize, 100, 500, 2000, 10_000, 40_000] {

@@ -27,7 +27,9 @@ fn durations(cfg: &ExpConfig) -> (SimDuration, SimDuration) {
 /// scale; its x-axis extends to 10 MB-class buffers for Fig. 12).
 fn buffer_points(cfg: &ExpConfig) -> Vec<u64> {
     if cfg.full {
-        vec![3_000, 6_000, 9_000, 15_000, 30_000, 60_000, 120_000, 375_000]
+        vec![
+            3_000, 6_000, 9_000, 15_000, 30_000, 60_000, 120_000, 375_000,
+        ]
     } else {
         vec![3_000, 9_000, 30_000, 60_000, 150_000, 375_000]
     }

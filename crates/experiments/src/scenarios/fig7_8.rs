@@ -46,7 +46,7 @@ pub fn run_experiment(cfg: &ExpConfig) -> Vec<Figure> {
         "multipath subflow throughput on changing link 1 (Mbps), topology 3c",
         &(["t_sec", "OPT"]
             .iter()
-            .map(|s| *s)
+            .copied()
             .chain(PROTOCOLS.iter().copied())
             .collect::<Vec<_>>()),
     );
@@ -55,7 +55,7 @@ pub fn run_experiment(cfg: &ExpConfig) -> Vec<Figure> {
         "single-path throughput vs LMMF fair share on link 2 (Mbps), topology 3c",
         &(["t_sec", "FAIR"]
             .iter()
-            .map(|s| *s)
+            .copied()
             .chain(PROTOCOLS.iter().copied())
             .collect::<Vec<_>>()),
     );
@@ -64,7 +64,7 @@ pub fn run_experiment(cfg: &ExpConfig) -> Vec<Figure> {
         "mean absolute tracking error vs optimum (Mbps) — lower is better",
         &(["metric"]
             .iter()
-            .map(|s| *s)
+            .copied()
             .chain(PROTOCOLS.iter().copied())
             .collect::<Vec<_>>()),
     );

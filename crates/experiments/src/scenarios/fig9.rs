@@ -15,7 +15,9 @@ use mpcc_simcore::SimDuration;
 /// Runs the experiment.
 pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
     let buffers: Vec<u64> = if cfg.full {
-        vec![375_000, 500_000, 600_000, 700_000, 800_000, 900_000, 1_000_000]
+        vec![
+            375_000, 500_000, 600_000, 700_000, 800_000, 900_000, 1_000_000,
+        ]
     } else {
         vec![375_000, 500_000, 700_000, 1_000_000]
     };

@@ -20,8 +20,8 @@ use crate::ExpConfig;
 /// All experiment ids, in paper order (plus the §6 scheduler experiment
 /// and the design-choice ablations).
 pub const ALL: [&str; 18] = [
-    "fig2", "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "fig16", "fig19", "sched", "ablation",
+    "fig2", "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig15", "fig16", "fig19", "sched", "ablation",
 ];
 
 /// Dispatches one experiment id; returns the produced figures.

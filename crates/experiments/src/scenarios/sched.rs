@@ -31,13 +31,16 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
     );
     let schedulers: Vec<(String, SchedulerKind)> = vec![
         ("default".into(), SchedulerKind::Default),
-        (
-            "rate-based-10%".into(),
-            SchedulerKind::paper_rate_based(),
-        ),
+        ("rate-based-10%".into(), SchedulerKind::paper_rate_based()),
         // Threshold ablation around the paper's 10% choice.
-        ("rate-based-2%".into(), SchedulerKind::RateBased { threshold: 0.02 }),
-        ("rate-based-50%".into(), SchedulerKind::RateBased { threshold: 0.50 }),
+        (
+            "rate-based-2%".into(),
+            SchedulerKind::RateBased { threshold: 0.02 },
+        ),
+        (
+            "rate-based-50%".into(),
+            SchedulerKind::RateBased { threshold: 0.50 },
+        ),
     ];
     for (name, kind) in schedulers {
         let mut sc = Scenario::new(

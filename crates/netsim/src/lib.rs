@@ -21,6 +21,8 @@ pub mod topology;
 pub mod trace;
 
 pub use ids::{EndpointId, LinkId, PathId};
-pub use link::{Admission, Link, LinkParams, LinkStats};
+pub use link::{Admission, DropKind, Link, LinkParams, LinkStats};
 pub use network::{Ctx, Endpoint, Path, Simulation};
-pub use packet::{AckHeader, DataHeader, Header, Packet, SeqRange, ACK_SIZE, MSS_PAYLOAD, MSS_WIRE};
+pub use packet::{
+    AckHeader, DataHeader, Header, Packet, SeqRange, ACK_SIZE, MSS_PAYLOAD, MSS_WIRE,
+};

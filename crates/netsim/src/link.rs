@@ -76,6 +76,15 @@ pub struct LinkStats {
     pub delivered_bytes: u64,
 }
 
+/// Why a link dropped a packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropKind {
+    /// The droptail queue was full.
+    Overflow,
+    /// The random-loss process fired.
+    Random,
+}
+
 /// Outcome of offering a packet to a link.
 #[derive(Debug, PartialEq, Eq)]
 pub enum Admission {
@@ -84,8 +93,8 @@ pub enum Admission {
     StartTx(SimTime),
     /// Packet queued behind others; a completion event is already pending.
     Queued,
-    /// Packet dropped (droptail overflow or random loss).
-    Dropped,
+    /// Packet dropped, for the contained reason.
+    Dropped(DropKind),
 }
 
 /// A unidirectional droptail link.
@@ -144,11 +153,11 @@ impl Link {
     pub fn admit(&mut self, pkt: Packet, now: SimTime, rng: &mut SimRng) -> Admission {
         if self.params.random_loss > 0.0 && rng.chance(self.params.random_loss) {
             self.stats.dropped_random += 1;
-            return Admission::Dropped;
+            return Admission::Dropped(DropKind::Random);
         }
         if self.queued_bytes + pkt.size > self.params.buffer {
             self.stats.dropped_overflow += 1;
-            return Admission::Dropped;
+            return Admission::Dropped(DropKind::Overflow);
         }
         self.stats.enqueued += 1;
         self.queued_bytes += pkt.size;
@@ -202,7 +211,7 @@ impl Link {
 mod tests {
     use super::*;
     use crate::ids::{EndpointId, PathId};
-    use crate::packet::{Header, DataHeader, MSS_WIRE};
+    use crate::packet::{DataHeader, Header, MSS_WIRE};
 
     fn pkt(id: u64, size: u64) -> Packet {
         Packet {
@@ -249,7 +258,10 @@ mod tests {
             Admission::StartTx(d) => d,
             other => panic!("{other:?}"),
         };
-        assert_eq!(link.admit(pkt(2, MSS_WIRE), t0, &mut rng), Admission::Queued);
+        assert_eq!(
+            link.admit(pkt(2, MSS_WIRE), t0, &mut rng),
+            Admission::Queued
+        );
         let (p1, next) = link.complete_tx(done1);
         assert_eq!(p1.id, 1);
         let done2 = next.expect("second packet pending");
@@ -270,9 +282,15 @@ mod tests {
             link.admit(pkt(1, MSS_WIRE), t0, &mut rng),
             Admission::StartTx(_)
         ));
-        assert_eq!(link.admit(pkt(2, MSS_WIRE), t0, &mut rng), Admission::Queued);
+        assert_eq!(
+            link.admit(pkt(2, MSS_WIRE), t0, &mut rng),
+            Admission::Queued
+        );
         // Third full-size packet exceeds the 3000-byte buffer.
-        assert_eq!(link.admit(pkt(3, MSS_WIRE), t0, &mut rng), Admission::Dropped);
+        assert_eq!(
+            link.admit(pkt(3, MSS_WIRE), t0, &mut rng),
+            Admission::Dropped(DropKind::Overflow)
+        );
         assert_eq!(link.stats().dropped_overflow, 1);
     }
 
@@ -287,7 +305,8 @@ mod tests {
         let mut dropped = 0;
         for i in 0..10_000 {
             match link.admit(pkt(i, MSS_WIRE), now, &mut rng) {
-                Admission::Dropped => dropped += 1,
+                Admission::Dropped(DropKind::Random) => dropped += 1,
+                Admission::Dropped(DropKind::Overflow) => unreachable!("unbounded buffer"),
                 Admission::StartTx(done) => {
                     // Drain immediately to keep the queue empty.
                     let (_, next) = link.complete_tx(done);

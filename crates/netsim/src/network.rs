@@ -7,9 +7,10 @@
 //! event-driven design — no async runtime, no hidden concurrency.
 
 use crate::ids::{EndpointId, LinkId, PathId};
-use crate::link::{Admission, Link, LinkParams, LinkStats};
+use crate::link::{Admission, DropKind, Link, LinkParams, LinkStats};
 use crate::packet::{Header, Packet};
 use mpcc_simcore::{rng::splitmix64, EventQueue, SimDuration, SimRng, SimTime};
+use mpcc_telemetry::{Layer, LinkEvent, Tracer};
 use std::any::Any;
 
 /// A forward path: an ordered list of links, plus the delay the reverse
@@ -64,6 +65,7 @@ pub struct Ctx<'a> {
     paths: &'a [Path],
     rng: &'a mut SimRng,
     next_packet_id: &'a mut u64,
+    tracer: &'a Tracer,
 }
 
 impl<'a> Ctx<'a> {
@@ -80,6 +82,12 @@ impl<'a> Ctx<'a> {
     /// This endpoint's private random stream.
     pub fn rng(&mut self) -> &mut SimRng {
         self.rng
+    }
+
+    /// The simulation's tracer (cheap to clone; disabled by default).
+    /// Transport endpoints emit their events through this handle.
+    pub fn tracer(&self) -> &Tracer {
+        self.tracer
     }
 
     /// Sends a packet down `path` toward `dst`. The packet enters the first
@@ -153,13 +161,41 @@ impl<'a> Ctx<'a> {
         let link_id = path.links[pkt.hop];
         let link = &mut self.links[link_id.0 as usize];
         let rng = &mut self.link_rngs[link_id.0 as usize];
-        match link.admit(pkt, self.now, rng) {
-            Admission::StartTx(done) => {
-                self.events.schedule(done, Event::TxComplete(link_id));
-            }
-            Admission::Queued | Admission::Dropped => {}
+        let bytes = pkt.size;
+        let admission = link.admit(pkt, self.now, rng);
+        trace_admission(self.tracer, self.now, link_id, bytes, link, &admission);
+        if let Admission::StartTx(done) = admission {
+            self.events.schedule(done, Event::TxComplete(link_id));
         }
     }
+}
+
+/// Emits the link-layer event corresponding to an admission outcome.
+/// Pure observation: reads the link, never touches sim state.
+fn trace_admission(
+    tracer: &Tracer,
+    now: SimTime,
+    link_id: LinkId,
+    bytes: u64,
+    link: &Link,
+    admission: &Admission,
+) {
+    tracer.emit_with(Layer::Link, now, || match admission {
+        Admission::StartTx(_) | Admission::Queued => LinkEvent::Enqueue {
+            link: link_id.0,
+            bytes,
+            queued_bytes: link.queued_bytes(),
+        },
+        Admission::Dropped(DropKind::Overflow) => LinkEvent::DropOverflow {
+            link: link_id.0,
+            bytes,
+            queued_bytes: link.queued_bytes(),
+        },
+        Admission::Dropped(DropKind::Random) => LinkEvent::DropRandom {
+            link: link_id.0,
+            bytes,
+        },
+    });
 }
 
 /// The top-level simulator: owns links, paths, endpoints and the event loop.
@@ -174,6 +210,7 @@ pub struct Simulation {
     next_packet_id: u64,
     now: SimTime,
     started: Vec<EndpointId>,
+    tracer: Tracer,
 }
 
 impl Simulation {
@@ -190,12 +227,25 @@ impl Simulation {
             next_packet_id: 0,
             now: SimTime::ZERO,
             started: Vec::new(),
+            tracer: Tracer::off(),
         }
     }
 
     /// The experiment seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Installs a tracer; link events and (through [`Ctx::tracer`]) the
+    /// transport/controller layers will record into it. Install before
+    /// running — events that already happened are not replayed.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The simulation's tracer handle.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Current simulation time.
@@ -207,9 +257,8 @@ impl Simulation {
     pub fn add_link(&mut self, params: LinkParams) -> LinkId {
         let id = LinkId(self.links.len() as u32);
         self.links.push(Link::new(params));
-        self.link_rngs.push(
-            SimRng::seed_from_u64(0).fork(self.seed, splitmix64(0x11CC ^ id.0 as u64)),
-        );
+        self.link_rngs
+            .push(SimRng::seed_from_u64(0).fork(self.seed, splitmix64(0x11CC ^ id.0 as u64)));
         id
     }
 
@@ -237,9 +286,8 @@ impl Simulation {
     pub fn add_endpoint(&mut self, ep: Box<dyn Endpoint>) -> EndpointId {
         let id = EndpointId(self.endpoints.len() as u32);
         self.endpoints.push(Some(ep));
-        self.ep_rngs.push(
-            SimRng::seed_from_u64(0).fork(self.seed, splitmix64(0xEE00 ^ id.0 as u64)),
-        );
+        self.ep_rngs
+            .push(SimRng::seed_from_u64(0).fork(self.seed, splitmix64(0xEE00 ^ id.0 as u64)));
         self.started.push(id);
         id
     }
@@ -329,8 +377,7 @@ impl Simulation {
                     self.events.schedule(done, Event::TxComplete(link_id));
                 }
                 pkt.hop = pkt.hop.saturating_add(1);
-                self.events
-                    .schedule(self.now + delay, Event::Arrive(pkt));
+                self.events.schedule(self.now + delay, Event::Arrive(pkt));
             }
             Event::Arrive(pkt) => {
                 let past_last_hop = match self.paths.get(pkt.path.0 as usize) {
@@ -359,11 +406,11 @@ impl Simulation {
         let link_id = path.links[pkt.hop];
         let link = &mut self.links[link_id.0 as usize];
         let rng = &mut self.link_rngs[link_id.0 as usize];
-        match link.admit(pkt, self.now, rng) {
-            Admission::StartTx(done) => {
-                self.events.schedule(done, Event::TxComplete(link_id));
-            }
-            Admission::Queued | Admission::Dropped => {}
+        let bytes = pkt.size;
+        let admission = link.admit(pkt, self.now, rng);
+        trace_admission(&self.tracer, self.now, link_id, bytes, link, &admission);
+        if let Admission::StartTx(done) = admission {
+            self.events.schedule(done, Event::TxComplete(link_id));
         }
     }
 
@@ -384,6 +431,7 @@ impl Simulation {
                 paths: &self.paths,
                 rng: &mut self.ep_rngs[id.0 as usize],
                 next_packet_id: &mut self.next_packet_id,
+                tracer: &self.tracer,
             };
             f(&mut ep, &mut ctx);
         }
@@ -496,9 +544,7 @@ mod tests {
         assert_eq!(s.acks.len(), 10);
         assert!(s.timer_fired);
         // First ACK: 120us serialization + 30ms + 30ms reverse.
-        let expected = SimTime::ZERO
-            + SimDuration::from_micros(120)
-            + SimDuration::from_millis(60);
+        let expected = SimTime::ZERO + SimDuration::from_micros(120) + SimDuration::from_millis(60);
         assert_eq!(s.acks[0], expected);
         // Packets are serialized back to back: ACK spacing = 120us.
         assert_eq!(
@@ -512,9 +558,7 @@ mod tests {
     fn two_hop_path_accumulates_delay() {
         let mut sim = Simulation::new(2);
         let l1 = sim.add_link(LinkParams::paper_default());
-        let l2 = sim.add_link(
-            LinkParams::paper_default().with_delay(SimDuration::from_millis(10)),
-        );
+        let l2 = sim.add_link(LinkParams::paper_default().with_delay(SimDuration::from_millis(10)));
         let path = sim.add_path(vec![l1, l2], None);
         let sender = sim.add_endpoint(Box::new(TestSender {
             path,
@@ -527,9 +571,7 @@ mod tests {
         sim.run_until(SimTime::from_secs(1));
         let s = sim.endpoint::<TestSender>(sender);
         // 120us + 30ms + 120us + 10ms forward, 40ms reverse.
-        let expected = SimTime::ZERO
-            + SimDuration::from_micros(240)
-            + SimDuration::from_millis(80);
+        let expected = SimTime::ZERO + SimDuration::from_micros(240) + SimDuration::from_millis(80);
         assert_eq!(s.acks[0], expected);
     }
 

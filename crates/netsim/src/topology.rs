@@ -164,8 +164,8 @@ impl Clos {
     /// the per-subflow 5-tuple hashing of the testbed.
     pub fn subflow_paths(&mut self, src: usize, dst: usize, n_subflows: usize) -> Vec<PathId> {
         let routes = self.routes(src, dst);
-        let offset =
-            (mpcc_simcore::rng::splitmix64((src as u64) << 32 | dst as u64) as usize) % routes.len();
+        let offset = (mpcc_simcore::rng::splitmix64((src as u64) << 32 | dst as u64) as usize)
+            % routes.len();
         (0..n_subflows)
             .map(|i| {
                 let route = routes[(offset + i) % routes.len()].clone();

@@ -1,15 +1,18 @@
 //! Lightweight run observability: periodic queue-occupancy sampling and
-//! per-link utilization summaries, in the spirit of the fault-injection /
-//! pcap hooks the networking guides recommend for simulator examples.
+//! per-link utilization summaries, built on the `mpcc-telemetry` counters
+//! and histograms.
 //!
 //! The simulator itself stays observation-free; a [`QueueProbe`] is driven
 //! by the harness between `run_until` slices, so tracing never perturbs
-//! event order (and therefore never changes results).
+//! event order (and therefore never changes results). Each sample is also
+//! emitted as a [`mpcc_telemetry::LinkEvent::QueueSample`] through the
+//! simulation's tracer, so `--trace` output includes queue occupancy.
 
 use crate::ids::LinkId;
 use crate::link::LinkStats;
 use crate::network::Simulation;
 use mpcc_simcore::{Rate, SimDuration, SimTime};
+use mpcc_telemetry::{Counter, Histogram, Layer, LinkEvent};
 
 /// One queue-occupancy sample.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -23,9 +26,37 @@ pub struct QueueSample {
 }
 
 /// Samples one link's queue over time.
-#[derive(Clone, Debug, Default)]
+///
+/// Retains the raw sample series (for plotting) and folds each sample into
+/// a fixed-bucket occupancy [`Histogram`] plus busy/total [`Counter`]s, so
+/// summary statistics come from the shared telemetry primitives.
+#[derive(Clone, Debug)]
 pub struct QueueProbe {
     samples: Vec<QueueSample>,
+    occupancy: Histogram,
+    busy: Counter,
+    total: Counter,
+}
+
+impl Default for QueueProbe {
+    fn default() -> Self {
+        QueueProbe {
+            samples: Vec::new(),
+            // Occupancy buckets in bytes: 1 pkt … ≫1 BDP of the paper's
+            // default link (375 KB), roughly logarithmic.
+            occupancy: Histogram::new(&[
+                1_500.0,
+                7_500.0,
+                37_500.0,
+                93_750.0,
+                187_500.0,
+                375_000.0,
+                1_500_000.0,
+            ]),
+            busy: Counter::new(),
+            total: Counter::new(),
+        }
+    }
 }
 
 impl QueueProbe {
@@ -34,14 +65,33 @@ impl QueueProbe {
         Self::default()
     }
 
-    /// Takes one sample from `sim` for `link`.
+    /// Takes one sample from `sim` for `link`, recording it into the
+    /// probe's statistics and emitting a `queue_sample` trace event.
     pub fn sample(&mut self, sim: &Simulation, link: LinkId) {
         let l = sim.link(link);
-        self.samples.push(QueueSample {
+        let s = QueueSample {
             t: sim.now(),
             queued_bytes: l.queued_bytes(),
             queued_packets: l.queue_len(),
-        });
+        };
+        self.record(s);
+        sim.tracer()
+            .emit_with(Layer::Link, sim.now(), || LinkEvent::QueueSample {
+                link: link.0,
+                queued_bytes: s.queued_bytes,
+                queued_packets: s.queued_packets as u64,
+            });
+    }
+
+    /// Folds one sample into the series and aggregates (exposed for tests
+    /// that build samples by hand).
+    fn record(&mut self, s: QueueSample) {
+        self.occupancy.record(s.queued_bytes as f64);
+        self.total.inc();
+        if s.queued_bytes > 0 {
+            self.busy.inc();
+        }
+        self.samples.push(s);
     }
 
     /// All samples taken.
@@ -49,26 +99,27 @@ impl QueueProbe {
         &self.samples
     }
 
+    /// The occupancy histogram (bytes).
+    pub fn occupancy(&self) -> &Histogram {
+        &self.occupancy
+    }
+
     /// Mean queue occupancy in bytes.
     pub fn mean_bytes(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        self.samples.iter().map(|s| s.queued_bytes as f64).sum::<f64>() / self.samples.len() as f64
+        self.occupancy.mean()
     }
 
     /// Peak queue occupancy in bytes.
     pub fn max_bytes(&self) -> u64 {
-        self.samples.iter().map(|s| s.queued_bytes).max().unwrap_or(0)
+        self.occupancy.max() as u64
     }
 
     /// Fraction of samples with a non-empty queue.
     pub fn busy_fraction(&self) -> f64 {
-        if self.samples.is_empty() {
+        if self.total.get() == 0 {
             return 0.0;
         }
-        self.samples.iter().filter(|s| s.queued_bytes > 0).count() as f64
-            / self.samples.len() as f64
+        self.busy.get() as f64 / self.total.get() as f64
     }
 }
 
@@ -91,6 +142,10 @@ pub struct LinkSummary {
 
 /// Summarizes a link's counters over `span`, given the counter snapshot
 /// `before` taken at the start of the span.
+///
+/// All counter deltas use `saturating_sub`: a snapshot taken across a
+/// `link_changes`-style counter reset (where `now` can be behind `before`)
+/// must summarize to zero, not panic in debug builds.
 pub fn summarize_link(
     sim: &Simulation,
     link: LinkId,
@@ -105,9 +160,9 @@ pub fn summarize_link(
         Rate::from_bps(delivered as f64 * 8.0 / span.as_secs_f64())
     };
     let capacity = sim.link(link).params().capacity;
-    let dropped_overflow = now.dropped_overflow - before.dropped_overflow;
-    let dropped_random = now.dropped_random - before.dropped_random;
-    let offered = (now.enqueued - before.enqueued) + dropped_overflow + dropped_random;
+    let dropped_overflow = now.dropped_overflow.saturating_sub(before.dropped_overflow);
+    let dropped_random = now.dropped_random.saturating_sub(before.dropped_random);
+    let offered = now.enqueued.saturating_sub(before.enqueued) + dropped_overflow + dropped_random;
     LinkSummary {
         delivered_bytes: delivered,
         throughput,
@@ -135,17 +190,17 @@ mod tests {
     fn probe_statistics() {
         let mut probe = QueueProbe::new();
         // Hand-rolled samples (no simulation needed for the statistics).
-        probe.samples.push(QueueSample {
+        probe.record(QueueSample {
             t: SimTime::ZERO,
             queued_bytes: 0,
             queued_packets: 0,
         });
-        probe.samples.push(QueueSample {
+        probe.record(QueueSample {
             t: SimTime::from_millis(1),
             queued_bytes: 3000,
             queued_packets: 2,
         });
-        probe.samples.push(QueueSample {
+        probe.record(QueueSample {
             t: SimTime::from_millis(2),
             queued_bytes: 1500,
             queued_packets: 1,
@@ -153,6 +208,8 @@ mod tests {
         assert_eq!(probe.mean_bytes(), 1500.0);
         assert_eq!(probe.max_bytes(), 3000);
         assert!((probe.busy_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(probe.samples().len(), 3);
+        assert_eq!(probe.occupancy().count(), 3);
     }
 
     #[test]
@@ -173,6 +230,30 @@ mod tests {
         let s = summarize_link(&sim, link, before, SimDuration::from_secs(1));
         assert_eq!(s.delivered_bytes, 0);
         assert_eq!(s.utilization, 0.0);
+        assert_eq!(s.drop_fraction, 0.0);
+    }
+
+    #[test]
+    fn summary_saturates_across_counter_reset() {
+        // Regression: a "before" snapshot with counters ahead of the
+        // link's current ones (as happens when a snapshot outlives a link
+        // reset) must produce a zeroed summary, not a debug-mode panic.
+        let sim = {
+            let mut sim = Simulation::new(2);
+            sim.add_link(LinkParams::paper_default());
+            sim
+        };
+        let stale = LinkStats {
+            enqueued: 1000,
+            dropped_overflow: 10,
+            dropped_random: 5,
+            delivered_packets: 900,
+            delivered_bytes: 1_350_000,
+        };
+        let s = summarize_link(&sim, LinkId(0), stale, SimDuration::from_secs(1));
+        assert_eq!(s.delivered_bytes, 0);
+        assert_eq!(s.dropped_overflow, 0);
+        assert_eq!(s.dropped_random, 0);
         assert_eq!(s.drop_fraction, 0.0);
     }
 }

@@ -6,20 +6,27 @@
 //! Components receive *forked* sub-generators so that adding a draw in one
 //! component does not perturb the sequence seen by another.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A seeded random generator with stable forking.
+///
+/// The generator is a self-contained xoshiro256++ (Blackman & Vigna), seeded
+/// through a SplitMix64 stream as its authors recommend. No external crates
+/// are involved, so the byte stream — and therefore every simulation result —
+/// is pinned by this repository alone.
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit experiment seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
+        // Fill the state from a SplitMix64 stream (never all-zero).
+        let mut x = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            *w = splitmix64(x);
         }
+        SimRng { s }
     }
 
     /// Derives an independent child generator labelled by `tag`.
@@ -33,7 +40,8 @@ impl SimRng {
 
     /// Uniform float in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high-quality bits into the mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -42,19 +50,31 @@ impl SimRng {
         if lo >= hi {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        let v = lo + self.f64() * (hi - lo);
+        // Floating rounding can land exactly on `hi`; clamp back inside.
+        if v >= hi {
+            lo.max(hi - (hi - lo) * f64::EPSILON)
+        } else {
+            v
+        }
     }
 
     /// Uniform integer in `[lo, hi)`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         debug_assert!(lo < hi);
-        self.inner.gen_range(lo..hi)
+        if lo >= hi {
+            return lo;
+        }
+        // Lemire's multiply-shift reduction: maps 64 random bits onto the
+        // span without modulo; the bias is < span/2^64, irrelevant here.
+        let span = hi - lo;
+        lo + (((self.next_u64() as u128) * (span as u128)) >> 64) as u64
     }
 
     /// Uniform choice of an index below `n`.
     pub fn index(&mut self, n: usize) -> usize {
         debug_assert!(n > 0);
-        self.inner.gen_range(0..n)
+        self.range_u64(0, n as u64) as usize
     }
 
     /// Bernoulli trial with probability `p` of `true`.
@@ -64,18 +84,30 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.f64() < p
         }
     }
 
     /// A fair coin flip.
     pub fn coin(&mut self) -> bool {
-        self.inner.gen::<bool>()
+        self.next_u64() >> 63 == 1
     }
 
     /// Raw 64 random bits (for hashing / sub-seeding).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        // xoshiro256++ step.
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 }
 

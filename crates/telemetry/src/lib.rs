@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! Deterministic structured event tracing for the MPCC stack.
+//!
+//! Every layer of the simulator — the MPCC controller, the multipath
+//! transport, and the network links — can emit typed events through a
+//! [`Tracer`] handle into a pluggable [`TraceSink`]. The design invariants:
+//!
+//! * **Sim-time only.** Every [`Record`] is stamped with the simulation
+//!   clock ([`mpcc_simcore::SimTime`]), never wall clock, so traces from
+//!   the same seed are byte-for-byte identical across runs and machines.
+//! * **Observation-free.** Emitting an event never draws randomness,
+//!   schedules simulation events, or otherwise feeds back into the run:
+//!   a traced run and an untraced run produce identical results. A paired
+//!   test in `tests/telemetry_determinism.rs` enforces this.
+//! * **Zero cost when off.** The default [`Tracer`] is disabled (a `None`
+//!   inside); the emit path is a branch on an `Option` and the event is
+//!   built lazily via [`Tracer::emit_with`], so hot paths pay ~nothing.
+//!
+//! Sinks: [`NullSink`] (drop everything), [`RingSink`] (bounded in-memory
+//! buffer, used by tests and invariant checks), [`JsonlSink`] /
+//! [`CsvSink`] (streaming exporters used by the experiments CLI's
+//! `--trace` flag), and [`StatsSink`] (monotonic counters + fixed-bucket
+//! histograms aggregated per subflow / connection / link).
+
+pub mod event;
+pub mod sink;
+pub mod stats;
+
+pub use event::{ControllerEvent, Layer, LayerMask, LinkEvent, Record, TraceEvent, TransportEvent};
+pub use sink::{CsvSink, JsonlSink, NullSink, RingSink, TraceSink, Tracer};
+pub use stats::{Counter, Histogram, StatsReport, StatsSink};

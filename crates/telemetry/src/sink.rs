@@ -1,0 +1,301 @@
+//! Trace sinks and the [`Tracer`] handle the emitting layers hold.
+
+use crate::event::{Layer, LayerMask, Record, TraceEvent};
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Destination for trace records.
+///
+/// Sinks take `&self` (emitters share one sink through an [`Arc`]) and are
+/// responsible for their own interior synchronization. Implementations must
+/// never call back into the simulation: recording is strictly one-way, so
+/// tracing cannot perturb simulated results.
+pub trait TraceSink: Send + Sync {
+    /// Accepts one record.
+    fn record(&self, rec: &Record);
+    /// Flushes any buffered output (no-op for in-memory sinks).
+    fn flush(&self) {}
+}
+
+/// Discards every record. With `NullSink` (or simply a disabled
+/// [`Tracer`]) the emit path is a single branch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn record(&self, _rec: &Record) {}
+}
+
+/// A bounded in-memory ring buffer of records — the sink tests and
+/// invariant checks use to inspect what a run emitted.
+pub struct RingSink {
+    buf: Mutex<VecDeque<Record>>,
+    capacity: usize,
+    dropped: Mutex<u64>,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` records; older records
+    /// are evicted first once full.
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            buf: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+            capacity: capacity.max(1),
+            dropped: Mutex::new(0),
+        }
+    }
+
+    /// A copy of the buffered records, oldest first.
+    pub fn records(&self) -> Vec<Record> {
+        self.buf
+            .lock()
+            .expect("ring poisoned")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Number of records currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("ring poisoned").len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted because the ring was full.
+    pub fn evicted(&self) -> u64 {
+        *self.dropped.lock().expect("ring poisoned")
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, rec: &Record) {
+        let mut buf = self.buf.lock().expect("ring poisoned");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            *self.dropped.lock().expect("ring poisoned") += 1;
+        }
+        buf.push_back(*rec);
+    }
+}
+
+/// Streams records as JSON Lines to any writer (typically a file).
+pub struct JsonlSink {
+    w: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Wraps an arbitrary writer.
+    pub fn new(w: Box<dyn Write + Send>) -> Self {
+        JsonlSink { w: Mutex::new(w) }
+    }
+
+    /// Creates (truncating) a file at `path` and streams to it buffered.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(Self::new(Box::new(BufWriter::new(File::create(path)?))))
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, rec: &Record) {
+        let mut w = self.w.lock().expect("jsonl sink poisoned");
+        // Trace output is best-effort: an I/O error must not abort the
+        // simulation mid-run. The final flush will surface persistent
+        // failures to the harness.
+        let _ = writeln!(w, "{}", rec.to_jsonl());
+    }
+
+    fn flush(&self) {
+        let _ = self.w.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+/// Streams records as CSV (header written on creation).
+pub struct CsvSink {
+    w: Mutex<Box<dyn Write + Send>>,
+}
+
+impl CsvSink {
+    /// Wraps an arbitrary writer and writes the header row.
+    pub fn new(mut w: Box<dyn Write + Send>) -> Self {
+        let _ = writeln!(w, "{}", Record::csv_header());
+        CsvSink { w: Mutex::new(w) }
+    }
+
+    /// Creates (truncating) a file at `path` and streams to it buffered.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(Self::new(Box::new(BufWriter::new(File::create(path)?))))
+    }
+}
+
+impl TraceSink for CsvSink {
+    fn record(&self, rec: &Record) {
+        let mut w = self.w.lock().expect("csv sink poisoned");
+        let _ = writeln!(w, "{}", rec.to_csv_row());
+    }
+
+    fn flush(&self) {
+        let _ = self.w.lock().expect("csv sink poisoned").flush();
+    }
+}
+
+struct TracerInner {
+    sink: Arc<dyn TraceSink>,
+    mask: LayerMask,
+}
+
+/// The cheap, cloneable handle emitting layers hold.
+///
+/// A disabled tracer (the [`Default`]) is a `None`: emission is one branch
+/// and, through [`Tracer::emit_with`], the event payload is never even
+/// constructed. An enabled tracer forwards records for the layers in its
+/// [`LayerMask`] to its [`TraceSink`].
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// A disabled tracer (records nothing, costs one branch per emit).
+    pub fn off() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// A tracer recording the layers in `mask` into `sink`.
+    pub fn new(sink: Arc<dyn TraceSink>, mask: LayerMask) -> Self {
+        if mask == LayerMask::NONE {
+            return Tracer::off();
+        }
+        Tracer {
+            inner: Some(Arc::new(TracerInner { sink, mask })),
+        }
+    }
+
+    /// Whether events from `layer` would currently be recorded.
+    #[inline]
+    pub fn enabled(&self, layer: Layer) -> bool {
+        match &self.inner {
+            Some(inner) => inner.mask.contains(layer),
+            None => false,
+        }
+    }
+
+    /// Whether the tracer records anything at all.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records `event` at sim-time `t` (subject to the layer mask).
+    #[inline]
+    pub fn emit(&self, t: mpcc_simcore::SimTime, event: impl Into<TraceEvent>) {
+        if let Some(inner) = &self.inner {
+            let event = event.into();
+            if inner.mask.contains(event.layer()) {
+                inner.sink.record(&Record { t, event });
+            }
+        }
+    }
+
+    /// Records the event built by `f` at sim-time `t` — but only calls `f`
+    /// if `layer` is being recorded. Use on hot paths where even
+    /// constructing the event is worth skipping.
+    #[inline]
+    pub fn emit_with<E: Into<TraceEvent>>(
+        &self,
+        layer: Layer,
+        t: mpcc_simcore::SimTime,
+        f: impl FnOnce() -> E,
+    ) {
+        if let Some(inner) = &self.inner {
+            if inner.mask.contains(layer) {
+                inner.sink.record(&Record {
+                    t,
+                    event: f().into(),
+                });
+            }
+        }
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::LinkEvent;
+    use mpcc_simcore::SimTime;
+
+    fn rec(n: u64) -> Record {
+        Record {
+            t: SimTime::from_nanos(n),
+            event: LinkEvent::DropRandom { link: 0, bytes: n }.into(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let ring = RingSink::new(2);
+        ring.record(&rec(1));
+        ring.record(&rec(2));
+        ring.record(&rec(3));
+        let got = ring.records();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].t, SimTime::from_nanos(2));
+        assert_eq!(got[1].t, SimTime::from_nanos(3));
+        assert_eq!(ring.evicted(), 1);
+    }
+
+    #[test]
+    fn tracer_mask_filters_before_sink() {
+        let ring = Arc::new(RingSink::new(16));
+        let tracer = Tracer::new(ring.clone(), LayerMask::only(Layer::Controller));
+        assert!(tracer.is_on());
+        assert!(!tracer.enabled(Layer::Link));
+        tracer.emit(SimTime::ZERO, LinkEvent::DropRandom { link: 0, bytes: 1 });
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn emit_with_skips_construction_when_off() {
+        let tracer = Tracer::off();
+        let mut called = false;
+        tracer.emit_with(Layer::Link, SimTime::ZERO, || {
+            called = true;
+            LinkEvent::DropRandom { link: 0, bytes: 1 }
+        });
+        assert!(!called);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Box::new(Shared(buf.clone())));
+        sink.record(&rec(5));
+        sink.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text, format!("{}\n", rec(5).to_jsonl()));
+    }
+}

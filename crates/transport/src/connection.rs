@@ -273,7 +273,10 @@ mod tests {
         assert!(c.pop_chunk(1448, SimTime::ZERO).is_none());
         assert!(!c.has_data(SimTime::from_millis(500)));
         // Next burst at t = 1 s.
-        assert_eq!(c.next_release(SimTime::from_millis(500)), Some(SimTime::from_secs(1)));
+        assert_eq!(
+            c.next_release(SimTime::from_millis(500)),
+            Some(SimTime::from_secs(1))
+        );
         assert!(c.has_data(SimTime::from_secs(1)));
         let chunk = c.pop_chunk(1448, SimTime::from_secs(1)).unwrap();
         assert_eq!(chunk.dsn, 2000);
@@ -293,8 +296,14 @@ mod tests {
             SimTime::from_secs(1),
         );
         // 1.05 s: one period; 1.25 s: three periods of release.
-        assert_eq!(c.next_release(SimTime::from_millis(1050)), Some(SimTime::from_millis(1100)));
-        assert_eq!(c.next_release(SimTime::from_millis(1250)), Some(SimTime::from_millis(1300)));
+        assert_eq!(
+            c.next_release(SimTime::from_millis(1050)),
+            Some(SimTime::from_millis(1100))
+        );
+        assert_eq!(
+            c.next_release(SimTime::from_millis(1250)),
+            Some(SimTime::from_millis(1300))
+        );
     }
 
     #[test]

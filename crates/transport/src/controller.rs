@@ -13,6 +13,7 @@
 //! [`MultipathCc::uses_mi`] returns `true`).
 
 use mpcc_simcore::{Rate, SimDuration, SimRng, SimTime};
+use mpcc_telemetry::Tracer;
 
 /// Everything a controller may want to know about one arriving ACK.
 #[derive(Clone, Copy, Debug)]
@@ -101,6 +102,12 @@ pub trait MultipathCc: Send {
 
     /// Called once per subflow before any traffic is sent on it.
     fn init_subflow(&mut self, subflow: usize, now: SimTime);
+
+    /// Hands the controller the connection's tracer handle and the
+    /// connection id to stamp events with. Called by the sender before
+    /// [`MultipathCc::init_subflow`]; controllers that emit no telemetry
+    /// keep the default no-op.
+    fn set_tracer(&mut self, _tracer: Tracer, _conn: u64) {}
 
     /// `true` if the controller is driven by monitor intervals
     /// ([`MultipathCc::begin_mi`] / [`MultipathCc::on_mi_complete`]).

@@ -290,7 +290,11 @@ mod tests {
             );
         }
         let r = &t.poll_completed(0, SimTime::from_millis(300))[0];
-        assert!((r.latency_gradient - 0.1).abs() < 1e-9, "{}", r.latency_gradient);
+        assert!(
+            (r.latency_gradient - 0.1).abs() < 1e-9,
+            "{}",
+            r.latency_gradient
+        );
     }
 
     #[test]
@@ -302,7 +306,12 @@ mod tests {
         t.on_sent(1);
         t.begin(Rate::from_mbps(3.0), SimTime::from_millis(20), 2);
         // Resolve the *second* MI first; it must not report before the first.
-        t.on_acked(1, SimTime::from_millis(10), SimDuration::from_millis(5), 1448);
+        t.on_acked(
+            1,
+            SimTime::from_millis(10),
+            SimDuration::from_millis(5),
+            1448,
+        );
         assert!(t.poll_completed(0, SimTime::from_millis(30)).is_empty());
         t.on_lost(0);
         let reports = t.poll_completed(0, SimTime::from_millis(40));

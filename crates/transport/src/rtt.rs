@@ -55,9 +55,8 @@ impl RttEstimator {
                 // RFC 6298: rttvar = 3/4 rttvar + 1/4 |srtt - rtt|
                 //           srtt   = 7/8 srtt   + 1/8 rtt
                 let delta = srtt.saturating_sub(rtt) + rtt.saturating_sub(srtt);
-                self.rttvar = SimDuration::from_nanos(
-                    (self.rttvar.as_nanos() * 3 + delta.as_nanos()) / 4,
-                );
+                self.rttvar =
+                    SimDuration::from_nanos((self.rttvar.as_nanos() * 3 + delta.as_nanos()) / 4);
                 self.srtt = Some(SimDuration::from_nanos(
                     (srtt.as_nanos() * 7 + rtt.as_nanos()) / 8,
                 ));

@@ -142,11 +142,7 @@ impl Scoreboard {
             return Vec::new();
         };
         let cutoff = high.saturating_sub(DUPTHRESH - 1);
-        let lost: Vec<u64> = self
-            .outstanding
-            .range(..cutoff)
-            .map(|(&s, _)| s)
-            .collect();
+        let lost: Vec<u64> = self.outstanding.range(..cutoff).map(|(&s, _)| s).collect();
         let mut result = Vec::with_capacity(lost.len());
         for seq in lost {
             let meta = self.outstanding.remove(&seq).expect("key just seen");
@@ -208,11 +204,7 @@ impl Scoreboard {
 
 /// Computes a delivery-rate (bandwidth) sample for an acked packet, as BBR
 /// does: bytes delivered since the packet left, over the elapsed time.
-pub fn bw_sample(
-    meta: &SentMeta,
-    delivered_now: u64,
-    now: SimTime,
-) -> mpcc_simcore::Rate {
+pub fn bw_sample(meta: &SentMeta, delivered_now: u64, now: SimTime) -> mpcc_simcore::Rate {
     let elapsed = now.saturating_since(meta.sent_at).as_secs_f64();
     if elapsed <= 0.0 {
         return mpcc_simcore::Rate::ZERO;

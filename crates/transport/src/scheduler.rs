@@ -149,10 +149,7 @@ mod tests {
 
     #[test]
     fn default_scheduler_prefers_lowest_rtt_until_cwnd() {
-        let views = [
-            view(0, 0, 100_000, 10.0, 50),
-            view(0, 0, 100_000, 10.0, 20),
-        ];
+        let views = [view(0, 0, 100_000, 10.0, 50), view(0, 0, 100_000, 10.0, 20)];
         assert_eq!(pick(SchedulerKind::Default, &views, 1448), Pick::Assign(1));
         // Fill subflow 1's window (inflight): falls over to subflow 0.
         let views = [
@@ -170,7 +167,13 @@ mod tests {
         // spilling to the 50 ms subflow.
         let views = [
             view(0, 0, u64::MAX / 2, 100.0, 50),
-            view(DEFAULT_LOOKAHEAD_CHUNKS * 1448, 250_000, u64::MAX / 2, 100.0, 20),
+            view(
+                DEFAULT_LOOKAHEAD_CHUNKS * 1448,
+                250_000,
+                u64::MAX / 2,
+                100.0,
+                20,
+            ),
         ];
         assert_eq!(
             pick(SchedulerKind::Default, &views, 1448),

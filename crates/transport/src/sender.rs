@@ -14,6 +14,7 @@ use mpcc_netsim::{
     Ctx, DataHeader, Endpoint, EndpointId, Header, Packet, PathId, MSS_PAYLOAD, MSS_WIRE,
 };
 use mpcc_simcore::{Rate, SimDuration, SimTime};
+use mpcc_telemetry::{Layer, Tracer, TransportEvent};
 use std::any::Any;
 
 /// Per-packet header overhead on the wire (IP + TCP + MPTCP DSS).
@@ -106,6 +107,8 @@ pub struct MpSender {
     conn: ConnSend,
     started: bool,
     done: bool,
+    tracer: Tracer,
+    conn_id: u64,
 }
 
 impl MpSender {
@@ -124,6 +127,8 @@ impl MpSender {
             conn,
             started: false,
             done: false,
+            tracer: Tracer::off(),
+            conn_id: 0,
         }
     }
 
@@ -168,6 +173,12 @@ impl MpSender {
 
     fn begin(&mut self, ctx: &mut Ctx<'_>) {
         self.started = true;
+        // Adopt the simulation's tracer; the sender's endpoint id names
+        // the connection in every event from here down, including the
+        // controller's (which receives the handle via `set_tracer`).
+        self.tracer = ctx.tracer().clone();
+        self.conn_id = ctx.self_id().0 as u64;
+        self.cc.set_tracer(self.tracer.clone(), self.conn_id);
         let now = ctx.now();
         for (i, &path) in self.cfg.paths.iter().enumerate() {
             // Propagation-only RTT estimate from the path description.
@@ -240,7 +251,21 @@ impl MpSender {
             let views: Vec<_> = (0..self.subflows.len())
                 .map(|i| self.subflows[i].view(self.cwnd_of(i), self.rate_of(i)))
                 .collect();
-            let sf = match scheduler::pick(self.cfg.scheduler, &views, MSS_PAYLOAD) {
+            let pick = scheduler::pick(self.cfg.scheduler, &views, MSS_PAYLOAD);
+            self.tracer.emit_with(Layer::Transport, ctx.now(), || {
+                let (picked, reason) = match pick {
+                    scheduler::Pick::Assign(sf) => (sf as i64, "assigned"),
+                    scheduler::Pick::PreferredBusy => (-1, "preferred_busy"),
+                    scheduler::Pick::Blocked => (-1, "blocked"),
+                };
+                TransportEvent::SchedulerPick {
+                    conn: self.conn_id,
+                    chunk_len: MSS_PAYLOAD,
+                    picked,
+                    reason,
+                }
+            });
+            let sf = match pick {
                 scheduler::Pick::Assign(sf) => sf,
                 // PreferredBusy: the kernel keeps data at the connection
                 // level rather than diverting past an available low-RTT
@@ -303,6 +328,27 @@ impl MpSender {
         });
         let path = subflow.path;
         ctx.send(path, self.cfg.dst, chunk.len + HEADER_OVERHEAD, header);
+        self.tracer.emit_with(Layer::Transport, now, || {
+            let (conn, subflow) = (self.conn_id, sf as u32);
+            let (seq, dsn, len) = (seq, chunk.dsn, chunk.len);
+            if chunk.retx {
+                TransportEvent::Reinjection {
+                    conn,
+                    subflow,
+                    seq,
+                    dsn,
+                    len,
+                }
+            } else {
+                TransportEvent::Send {
+                    conn,
+                    subflow,
+                    seq,
+                    dsn,
+                    len,
+                }
+            }
+        });
         self.arm_rto(sf, ctx);
         true
     }
@@ -383,6 +429,12 @@ impl MpSender {
             }
         }
         // Genuine timeout: everything outstanding is lost.
+        self.tracer
+            .emit_with(Layer::Transport, now, || TransportEvent::RtoFired {
+                conn: self.conn_id,
+                subflow: sf as u32,
+                backoff: self.subflows[sf].rto_backoff,
+            });
         let lost = self.subflows[sf].scoreboard.on_rto();
         for (seq, meta) in &lost {
             self.conn.requeue(meta.chunk);
@@ -414,6 +466,19 @@ impl MpSender {
             self.subflows[sf].rtt.on_sample(rtt, now);
             self.subflows[sf].rto_backoff = 1;
         }
+        if !outcome.acked.is_empty() {
+            self.tracer
+                .emit_with(Layer::Transport, now, || TransportEvent::Ack {
+                    conn: self.conn_id,
+                    subflow: sf as u32,
+                    acked_bytes: outcome.acked_bytes,
+                    rtt_us: outcome
+                        .rtt_sample
+                        .unwrap_or_else(|| self.subflows[sf].rtt.latest())
+                        .as_nanos()
+                        / 1_000,
+                });
+        }
         // Monitor-interval attribution (per-packet RTT = now - send time,
         // exact for the packet that triggered this ACK, a slight
         // overestimate for ranges recovered via SACK blocks).
@@ -430,6 +495,14 @@ impl MpSender {
         let losses = self.subflows[sf].scoreboard.detect_losses();
         let mut congestion_event = false;
         for (seq, meta) in &losses {
+            self.tracer
+                .emit_with(Layer::Transport, now, || TransportEvent::SackLoss {
+                    conn: self.conn_id,
+                    subflow: sf as u32,
+                    seq: *seq,
+                    dsn: meta.chunk.dsn,
+                    len: meta.chunk.len,
+                });
             self.conn.requeue(meta.chunk);
             if self.uses_mi {
                 self.subflows[sf].mi.on_lost(*seq);
@@ -457,7 +530,9 @@ impl MpSender {
                 now,
                 acked_packets: outcome.acked.len() as u64,
                 acked_bytes: outcome.acked_bytes,
-                rtt: outcome.rtt_sample.unwrap_or_else(|| self.subflows[sf].rtt.latest()),
+                rtt: outcome
+                    .rtt_sample
+                    .unwrap_or_else(|| self.subflows[sf].rtt.latest()),
                 srtt: self.subflows[sf].srtt(),
                 min_rtt: self.subflows[sf].rtt.min_rtt(),
                 bw_sample: bw,

@@ -22,8 +22,8 @@ fn goodput(proto: &str, loss: f64) -> f64 {
     let p1 = net.path(1);
     let mut sim = net.sim;
     let recv = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
-    let cfg = SenderConfig::bulk(recv, vec![p0, p1])
-        .with_scheduler(protocols::scheduler_for(proto));
+    let cfg =
+        SenderConfig::bulk(recv, vec![p0, p1]).with_scheduler(protocols::scheduler_for(proto));
     let sender = sim.add_endpoint(Box::new(MpSender::new(cfg, protocols::make(proto, 5))));
     sim.run_until(SimTime::from_secs(10));
     let warm = sim.endpoint::<MpSender>(sender).data_acked();
@@ -57,5 +57,7 @@ fn main() {
         }
         println!();
     }
-    println!("\n(goodput in Mbps of one 2-subflow connection over 2×100 Mb/s; loss on link 1 only)");
+    println!(
+        "\n(goodput in Mbps of one 2-subflow connection over 2×100 Mb/s; loss on link 1 only)"
+    );
 }

@@ -30,7 +30,10 @@ fn main() {
     let sender = sim.add_endpoint(Box::new(MpSender::new(config, Box::new(cc))));
 
     // 4. Run, sampling once per second.
-    println!("{:>4}  {:>13}  {:>12}  {:>12}", "t", "goodput", "subflow 1", "subflow 2");
+    println!(
+        "{:>4}  {:>13}  {:>12}  {:>12}",
+        "t", "goodput", "subflow 1", "subflow 2"
+    );
     let mut last_acked = 0;
     for sec in 1..=30u64 {
         sim.run_until(SimTime::from_secs(sec));

@@ -77,5 +77,7 @@ fn main() {
             FILE_BYTES as f64 * 8.0 / fct / 1e6
         );
     }
-    println!("\n(lower time is better; MPCC should ride out the random loss that stalls LIA/OLIA/Balia)");
+    println!(
+        "\n(lower time is better; MPCC should ride out the random loss that stalls LIA/OLIA/Balia)"
+    );
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/controllers-532778fdccc09e27.d: crates/bench/benches/controllers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontrollers-532778fdccc09e27.rmeta: crates/bench/benches/controllers.rs Cargo.toml
+
+crates/bench/benches/controllers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-34b77862302ff2dc.d: crates/experiments/src/main.rs
+
+/root/repo/target/debug/deps/experiments-34b77862302ff2dc: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

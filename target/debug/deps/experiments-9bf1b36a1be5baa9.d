@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-9bf1b36a1be5baa9.d: crates/experiments/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-9bf1b36a1be5baa9.rmeta: crates/experiments/src/main.rs Cargo.toml
+
+crates/experiments/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fairness_convergence-18380d4ed8d25488.d: tests/fairness_convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairness_convergence-18380d4ed8d25488.rmeta: tests/fairness_convergence.rs Cargo.toml
+
+tests/fairness_convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

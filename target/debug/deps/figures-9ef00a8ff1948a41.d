@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-9ef00a8ff1948a41.d: crates/bench/benches/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-9ef00a8ff1948a41.rmeta: crates/bench/benches/figures.rs Cargo.toml
+
+crates/bench/benches/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mpcc-0c865f0a344fa2de.d: crates/core/src/lib.rs crates/core/src/connection_level.rs crates/core/src/controller/mod.rs crates/core/src/controller/state.rs crates/core/src/theory/mod.rs crates/core/src/theory/fluid.rs crates/core/src/theory/lmmf.rs crates/core/src/theory/maxflow.rs crates/core/src/utility.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpcc-0c865f0a344fa2de.rmeta: crates/core/src/lib.rs crates/core/src/connection_level.rs crates/core/src/controller/mod.rs crates/core/src/controller/state.rs crates/core/src/theory/mod.rs crates/core/src/theory/fluid.rs crates/core/src/theory/lmmf.rs crates/core/src/theory/maxflow.rs crates/core/src/utility.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/connection_level.rs:
+crates/core/src/controller/mod.rs:
+crates/core/src/controller/state.rs:
+crates/core/src/theory/mod.rs:
+crates/core/src/theory/fluid.rs:
+crates/core/src/theory/lmmf.rs:
+crates/core/src/theory/maxflow.rs:
+crates/core/src/utility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

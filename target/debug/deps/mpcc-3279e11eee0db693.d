@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mpcc-3279e11eee0db693.d: crates/core/src/lib.rs crates/core/src/connection_level.rs crates/core/src/controller/mod.rs crates/core/src/controller/state.rs crates/core/src/theory/mod.rs crates/core/src/theory/fluid.rs crates/core/src/theory/lmmf.rs crates/core/src/theory/maxflow.rs crates/core/src/utility.rs
+
+/root/repo/target/debug/deps/libmpcc-3279e11eee0db693.rlib: crates/core/src/lib.rs crates/core/src/connection_level.rs crates/core/src/controller/mod.rs crates/core/src/controller/state.rs crates/core/src/theory/mod.rs crates/core/src/theory/fluid.rs crates/core/src/theory/lmmf.rs crates/core/src/theory/maxflow.rs crates/core/src/utility.rs
+
+/root/repo/target/debug/deps/libmpcc-3279e11eee0db693.rmeta: crates/core/src/lib.rs crates/core/src/connection_level.rs crates/core/src/controller/mod.rs crates/core/src/controller/state.rs crates/core/src/theory/mod.rs crates/core/src/theory/fluid.rs crates/core/src/theory/lmmf.rs crates/core/src/theory/maxflow.rs crates/core/src/utility.rs
+
+crates/core/src/lib.rs:
+crates/core/src/connection_level.rs:
+crates/core/src/controller/mod.rs:
+crates/core/src/controller/state.rs:
+crates/core/src/theory/mod.rs:
+crates/core/src/theory/fluid.rs:
+crates/core/src/theory/lmmf.rs:
+crates/core/src/theory/maxflow.rs:
+crates/core/src/utility.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpcc_bench-895fafac75d3a9fe.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpcc_bench-895fafac75d3a9fe.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

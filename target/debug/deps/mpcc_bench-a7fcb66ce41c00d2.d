@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpcc_bench-a7fcb66ce41c00d2.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpcc_bench-a7fcb66ce41c00d2.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mpcc_bench-bda94b112c992ba0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmpcc_bench-bda94b112c992ba0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmpcc_bench-bda94b112c992ba0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

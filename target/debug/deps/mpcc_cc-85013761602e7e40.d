@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mpcc_cc-85013761602e7e40.d: crates/cc/src/lib.rs crates/cc/src/balia.rs crates/cc/src/bbr.rs crates/cc/src/coupled.rs crates/cc/src/cubic.rs crates/cc/src/lia.rs crates/cc/src/mpcubic.rs crates/cc/src/olia.rs crates/cc/src/reno.rs crates/cc/src/uncoupled.rs crates/cc/src/window.rs crates/cc/src/wvegas.rs
+
+/root/repo/target/debug/deps/libmpcc_cc-85013761602e7e40.rlib: crates/cc/src/lib.rs crates/cc/src/balia.rs crates/cc/src/bbr.rs crates/cc/src/coupled.rs crates/cc/src/cubic.rs crates/cc/src/lia.rs crates/cc/src/mpcubic.rs crates/cc/src/olia.rs crates/cc/src/reno.rs crates/cc/src/uncoupled.rs crates/cc/src/window.rs crates/cc/src/wvegas.rs
+
+/root/repo/target/debug/deps/libmpcc_cc-85013761602e7e40.rmeta: crates/cc/src/lib.rs crates/cc/src/balia.rs crates/cc/src/bbr.rs crates/cc/src/coupled.rs crates/cc/src/cubic.rs crates/cc/src/lia.rs crates/cc/src/mpcubic.rs crates/cc/src/olia.rs crates/cc/src/reno.rs crates/cc/src/uncoupled.rs crates/cc/src/window.rs crates/cc/src/wvegas.rs
+
+crates/cc/src/lib.rs:
+crates/cc/src/balia.rs:
+crates/cc/src/bbr.rs:
+crates/cc/src/coupled.rs:
+crates/cc/src/cubic.rs:
+crates/cc/src/lia.rs:
+crates/cc/src/mpcubic.rs:
+crates/cc/src/olia.rs:
+crates/cc/src/reno.rs:
+crates/cc/src/uncoupled.rs:
+crates/cc/src/window.rs:
+crates/cc/src/wvegas.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/mpcc_cc-f1251b144ab3ca88.d: crates/cc/src/lib.rs crates/cc/src/balia.rs crates/cc/src/bbr.rs crates/cc/src/coupled.rs crates/cc/src/cubic.rs crates/cc/src/lia.rs crates/cc/src/mpcubic.rs crates/cc/src/olia.rs crates/cc/src/reno.rs crates/cc/src/uncoupled.rs crates/cc/src/window.rs crates/cc/src/wvegas.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpcc_cc-f1251b144ab3ca88.rmeta: crates/cc/src/lib.rs crates/cc/src/balia.rs crates/cc/src/bbr.rs crates/cc/src/coupled.rs crates/cc/src/cubic.rs crates/cc/src/lia.rs crates/cc/src/mpcubic.rs crates/cc/src/olia.rs crates/cc/src/reno.rs crates/cc/src/uncoupled.rs crates/cc/src/window.rs crates/cc/src/wvegas.rs Cargo.toml
+
+crates/cc/src/lib.rs:
+crates/cc/src/balia.rs:
+crates/cc/src/bbr.rs:
+crates/cc/src/coupled.rs:
+crates/cc/src/cubic.rs:
+crates/cc/src/lia.rs:
+crates/cc/src/mpcubic.rs:
+crates/cc/src/olia.rs:
+crates/cc/src/reno.rs:
+crates/cc/src/uncoupled.rs:
+crates/cc/src/window.rs:
+crates/cc/src/wvegas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/mpcc_experiments-40660eaa1a5c32c2.d: crates/experiments/src/lib.rs crates/experiments/src/output.rs crates/experiments/src/protocols.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios/mod.rs crates/experiments/src/scenarios/ablation.rs crates/experiments/src/scenarios/fig10.rs crates/experiments/src/scenarios/fig11.rs crates/experiments/src/scenarios/fig12_13.rs crates/experiments/src/scenarios/fig14_15.rs crates/experiments/src/scenarios/fig16_17.rs crates/experiments/src/scenarios/fig19.rs crates/experiments/src/scenarios/fig2.rs crates/experiments/src/scenarios/fig5_6.rs crates/experiments/src/scenarios/fig7_8.rs crates/experiments/src/scenarios/fig9.rs crates/experiments/src/scenarios/sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpcc_experiments-40660eaa1a5c32c2.rmeta: crates/experiments/src/lib.rs crates/experiments/src/output.rs crates/experiments/src/protocols.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios/mod.rs crates/experiments/src/scenarios/ablation.rs crates/experiments/src/scenarios/fig10.rs crates/experiments/src/scenarios/fig11.rs crates/experiments/src/scenarios/fig12_13.rs crates/experiments/src/scenarios/fig14_15.rs crates/experiments/src/scenarios/fig16_17.rs crates/experiments/src/scenarios/fig19.rs crates/experiments/src/scenarios/fig2.rs crates/experiments/src/scenarios/fig5_6.rs crates/experiments/src/scenarios/fig7_8.rs crates/experiments/src/scenarios/fig9.rs crates/experiments/src/scenarios/sched.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/output.rs:
+crates/experiments/src/protocols.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/scenarios/mod.rs:
+crates/experiments/src/scenarios/ablation.rs:
+crates/experiments/src/scenarios/fig10.rs:
+crates/experiments/src/scenarios/fig11.rs:
+crates/experiments/src/scenarios/fig12_13.rs:
+crates/experiments/src/scenarios/fig14_15.rs:
+crates/experiments/src/scenarios/fig16_17.rs:
+crates/experiments/src/scenarios/fig19.rs:
+crates/experiments/src/scenarios/fig2.rs:
+crates/experiments/src/scenarios/fig5_6.rs:
+crates/experiments/src/scenarios/fig7_8.rs:
+crates/experiments/src/scenarios/fig9.rs:
+crates/experiments/src/scenarios/sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

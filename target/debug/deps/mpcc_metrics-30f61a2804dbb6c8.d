@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpcc_metrics-30f61a2804dbb6c8.d: crates/metrics/src/lib.rs crates/metrics/src/series.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/libmpcc_metrics-30f61a2804dbb6c8.rlib: crates/metrics/src/lib.rs crates/metrics/src/series.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/libmpcc_metrics-30f61a2804dbb6c8.rmeta: crates/metrics/src/lib.rs crates/metrics/src/series.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/stats.rs:

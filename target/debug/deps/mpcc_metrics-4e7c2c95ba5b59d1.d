@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpcc_metrics-4e7c2c95ba5b59d1.d: crates/metrics/src/lib.rs crates/metrics/src/series.rs crates/metrics/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpcc_metrics-4e7c2c95ba5b59d1.rmeta: crates/metrics/src/lib.rs crates/metrics/src/series.rs crates/metrics/src/stats.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpcc_metrics-a59544042700898a.d: crates/metrics/src/lib.rs crates/metrics/src/series.rs crates/metrics/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpcc_metrics-a59544042700898a.rmeta: crates/metrics/src/lib.rs crates/metrics/src/series.rs crates/metrics/src/stats.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

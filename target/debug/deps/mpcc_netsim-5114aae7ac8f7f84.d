@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpcc_netsim-5114aae7ac8f7f84.d: crates/netsim/src/lib.rs crates/netsim/src/ids.rs crates/netsim/src/link.rs crates/netsim/src/network.rs crates/netsim/src/packet.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs
+
+/root/repo/target/debug/deps/libmpcc_netsim-5114aae7ac8f7f84.rlib: crates/netsim/src/lib.rs crates/netsim/src/ids.rs crates/netsim/src/link.rs crates/netsim/src/network.rs crates/netsim/src/packet.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs
+
+/root/repo/target/debug/deps/libmpcc_netsim-5114aae7ac8f7f84.rmeta: crates/netsim/src/lib.rs crates/netsim/src/ids.rs crates/netsim/src/link.rs crates/netsim/src/network.rs crates/netsim/src/packet.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/ids.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mpcc_netsim-af8383c224750f90.d: crates/netsim/src/lib.rs crates/netsim/src/ids.rs crates/netsim/src/link.rs crates/netsim/src/network.rs crates/netsim/src/packet.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpcc_netsim-af8383c224750f90.rmeta: crates/netsim/src/lib.rs crates/netsim/src/ids.rs crates/netsim/src/link.rs crates/netsim/src/network.rs crates/netsim/src/packet.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/ids.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

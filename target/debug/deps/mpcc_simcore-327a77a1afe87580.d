@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpcc_simcore-327a77a1afe87580.d: crates/simcore/src/lib.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs crates/simcore/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpcc_simcore-327a77a1afe87580.rmeta: crates/simcore/src/lib.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs crates/simcore/src/units.rs Cargo.toml
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/queue.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpcc_simcore-71b61a4f6ccad3fd.d: crates/simcore/src/lib.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs crates/simcore/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpcc_simcore-71b61a4f6ccad3fd.rmeta: crates/simcore/src/lib.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs crates/simcore/src/units.rs Cargo.toml
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/queue.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

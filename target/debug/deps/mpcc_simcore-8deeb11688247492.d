@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpcc_simcore-8deeb11688247492.d: crates/simcore/src/lib.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs crates/simcore/src/units.rs
+
+/root/repo/target/debug/deps/libmpcc_simcore-8deeb11688247492.rlib: crates/simcore/src/lib.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs crates/simcore/src/units.rs
+
+/root/repo/target/debug/deps/libmpcc_simcore-8deeb11688247492.rmeta: crates/simcore/src/lib.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs crates/simcore/src/units.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/queue.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/units.rs:

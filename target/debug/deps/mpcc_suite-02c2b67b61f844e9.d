@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpcc_suite-02c2b67b61f844e9.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpcc_suite-02c2b67b61f844e9.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mpcc_suite-88780ce89376a124.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmpcc_suite-88780ce89376a124.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmpcc_suite-88780ce89376a124.rmeta: src/lib.rs
+
+src/lib.rs:

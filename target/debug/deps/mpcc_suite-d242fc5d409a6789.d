@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpcc_suite-d242fc5d409a6789.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpcc_suite-d242fc5d409a6789.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

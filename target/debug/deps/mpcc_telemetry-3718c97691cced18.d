@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpcc_telemetry-3718c97691cced18.d: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/sink.rs crates/telemetry/src/stats.rs
+
+/root/repo/target/debug/deps/libmpcc_telemetry-3718c97691cced18.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/sink.rs crates/telemetry/src/stats.rs
+
+/root/repo/target/debug/deps/libmpcc_telemetry-3718c97691cced18.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/sink.rs crates/telemetry/src/stats.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/stats.rs:

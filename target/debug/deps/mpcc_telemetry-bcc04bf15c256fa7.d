@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpcc_telemetry-bcc04bf15c256fa7.d: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/sink.rs crates/telemetry/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpcc_telemetry-bcc04bf15c256fa7.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/sink.rs crates/telemetry/src/stats.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpcc_telemetry-ff759e74abe9314c.d: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/sink.rs crates/telemetry/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpcc_telemetry-ff759e74abe9314c.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/sink.rs crates/telemetry/src/stats.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

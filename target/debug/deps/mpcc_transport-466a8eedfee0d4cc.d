@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mpcc_transport-466a8eedfee0d4cc.d: crates/transport/src/lib.rs crates/transport/src/connection.rs crates/transport/src/controller.rs crates/transport/src/mi.rs crates/transport/src/ranges.rs crates/transport/src/receiver.rs crates/transport/src/rtt.rs crates/transport/src/sack.rs crates/transport/src/scheduler.rs crates/transport/src/sender.rs crates/transport/src/subflow.rs
+
+/root/repo/target/debug/deps/libmpcc_transport-466a8eedfee0d4cc.rlib: crates/transport/src/lib.rs crates/transport/src/connection.rs crates/transport/src/controller.rs crates/transport/src/mi.rs crates/transport/src/ranges.rs crates/transport/src/receiver.rs crates/transport/src/rtt.rs crates/transport/src/sack.rs crates/transport/src/scheduler.rs crates/transport/src/sender.rs crates/transport/src/subflow.rs
+
+/root/repo/target/debug/deps/libmpcc_transport-466a8eedfee0d4cc.rmeta: crates/transport/src/lib.rs crates/transport/src/connection.rs crates/transport/src/controller.rs crates/transport/src/mi.rs crates/transport/src/ranges.rs crates/transport/src/receiver.rs crates/transport/src/rtt.rs crates/transport/src/sack.rs crates/transport/src/scheduler.rs crates/transport/src/sender.rs crates/transport/src/subflow.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/connection.rs:
+crates/transport/src/controller.rs:
+crates/transport/src/mi.rs:
+crates/transport/src/ranges.rs:
+crates/transport/src/receiver.rs:
+crates/transport/src/rtt.rs:
+crates/transport/src/sack.rs:
+crates/transport/src/scheduler.rs:
+crates/transport/src/sender.rs:
+crates/transport/src/subflow.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mpcc_transport-79915dd284589b27.d: crates/transport/src/lib.rs crates/transport/src/connection.rs crates/transport/src/controller.rs crates/transport/src/mi.rs crates/transport/src/ranges.rs crates/transport/src/receiver.rs crates/transport/src/rtt.rs crates/transport/src/sack.rs crates/transport/src/scheduler.rs crates/transport/src/sender.rs crates/transport/src/subflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpcc_transport-79915dd284589b27.rmeta: crates/transport/src/lib.rs crates/transport/src/connection.rs crates/transport/src/controller.rs crates/transport/src/mi.rs crates/transport/src/ranges.rs crates/transport/src/receiver.rs crates/transport/src/rtt.rs crates/transport/src/sack.rs crates/transport/src/scheduler.rs crates/transport/src/sender.rs crates/transport/src/subflow.rs Cargo.toml
+
+crates/transport/src/lib.rs:
+crates/transport/src/connection.rs:
+crates/transport/src/controller.rs:
+crates/transport/src/mi.rs:
+crates/transport/src/ranges.rs:
+crates/transport/src/receiver.rs:
+crates/transport/src/rtt.rs:
+crates/transport/src/sack.rs:
+crates/transport/src/scheduler.rs:
+crates/transport/src/sender.rs:
+crates/transport/src/subflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

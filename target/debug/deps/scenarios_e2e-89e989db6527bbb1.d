@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scenarios_e2e-89e989db6527bbb1.d: tests/scenarios_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscenarios_e2e-89e989db6527bbb1.rmeta: tests/scenarios_e2e.rs Cargo.toml
+
+tests/scenarios_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

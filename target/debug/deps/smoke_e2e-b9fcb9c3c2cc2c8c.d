@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smoke_e2e-b9fcb9c3c2cc2c8c.d: tests/smoke_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmoke_e2e-b9fcb9c3c2cc2c8c.rmeta: tests/smoke_e2e.rs Cargo.toml
+
+tests/smoke_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

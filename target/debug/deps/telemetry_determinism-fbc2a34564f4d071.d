@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_determinism-fbc2a34564f4d071.d: tests/telemetry_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_determinism-fbc2a34564f4d071.rmeta: tests/telemetry_determinism.rs Cargo.toml
+
+tests/telemetry_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

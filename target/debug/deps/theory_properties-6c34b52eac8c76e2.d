@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theory_properties-6c34b52eac8c76e2.d: tests/theory_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheory_properties-6c34b52eac8c76e2.rmeta: tests/theory_properties.rs Cargo.toml
+
+tests/theory_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

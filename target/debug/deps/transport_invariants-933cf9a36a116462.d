@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transport_invariants-933cf9a36a116462.d: tests/transport_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransport_invariants-933cf9a36a116462.rmeta: tests/transport_invariants.rs Cargo.toml
+
+tests/transport_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

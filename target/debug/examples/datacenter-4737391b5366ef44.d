@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/datacenter-4737391b5366ef44.d: examples/datacenter.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdatacenter-4737391b5366ef44.rmeta: examples/datacenter.rs Cargo.toml
+
+examples/datacenter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lossy_link-9c02d12f0dead90e.d: examples/lossy_link.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblossy_link-9c02d12f0dead90e.rmeta: examples/lossy_link.rs Cargo.toml
+
+examples/lossy_link.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

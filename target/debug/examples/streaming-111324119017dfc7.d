@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/streaming-111324119017dfc7.d: examples/streaming.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstreaming-111324119017dfc7.rmeta: examples/streaming.rs Cargo.toml
+
+examples/streaming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wifi_lte-58a68f4fbbffe161.d: examples/wifi_lte.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwifi_lte-58a68f4fbbffe161.rmeta: examples/wifi_lte.rs Cargo.toml
+
+examples/wifi_lte.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-1780883933163f09.d: crates/experiments/src/main.rs
+
+/root/repo/target/release/deps/experiments-1780883933163f09: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

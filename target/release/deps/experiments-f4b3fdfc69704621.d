@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-f4b3fdfc69704621.d: crates/experiments/src/main.rs
+
+/root/repo/target/release/deps/experiments-f4b3fdfc69704621: crates/experiments/src/main.rs
+
+crates/experiments/src/main.rs:

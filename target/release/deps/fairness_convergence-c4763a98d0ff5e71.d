@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fairness_convergence-c4763a98d0ff5e71.d: tests/fairness_convergence.rs
+
+/root/repo/target/release/deps/fairness_convergence-c4763a98d0ff5e71: tests/fairness_convergence.rs
+
+tests/fairness_convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mpcc_bench-64e2fd187e93873c.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/mpcc_bench-64e2fd187e93873c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mpcc_bench-8a8a64846cb7a34d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmpcc_bench-8a8a64846cb7a34d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmpcc_bench-8a8a64846cb7a34d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

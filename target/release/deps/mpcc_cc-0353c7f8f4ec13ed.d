@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mpcc_cc-0353c7f8f4ec13ed.d: crates/cc/src/lib.rs crates/cc/src/balia.rs crates/cc/src/bbr.rs crates/cc/src/coupled.rs crates/cc/src/cubic.rs crates/cc/src/lia.rs crates/cc/src/mpcubic.rs crates/cc/src/olia.rs crates/cc/src/reno.rs crates/cc/src/uncoupled.rs crates/cc/src/window.rs crates/cc/src/wvegas.rs
+
+/root/repo/target/release/deps/mpcc_cc-0353c7f8f4ec13ed: crates/cc/src/lib.rs crates/cc/src/balia.rs crates/cc/src/bbr.rs crates/cc/src/coupled.rs crates/cc/src/cubic.rs crates/cc/src/lia.rs crates/cc/src/mpcubic.rs crates/cc/src/olia.rs crates/cc/src/reno.rs crates/cc/src/uncoupled.rs crates/cc/src/window.rs crates/cc/src/wvegas.rs
+
+crates/cc/src/lib.rs:
+crates/cc/src/balia.rs:
+crates/cc/src/bbr.rs:
+crates/cc/src/coupled.rs:
+crates/cc/src/cubic.rs:
+crates/cc/src/lia.rs:
+crates/cc/src/mpcubic.rs:
+crates/cc/src/olia.rs:
+crates/cc/src/reno.rs:
+crates/cc/src/uncoupled.rs:
+crates/cc/src/window.rs:
+crates/cc/src/wvegas.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/mpcc_cc-1babfd3a4a1aafd4.d: crates/cc/src/lib.rs crates/cc/src/balia.rs crates/cc/src/bbr.rs crates/cc/src/coupled.rs crates/cc/src/cubic.rs crates/cc/src/lia.rs crates/cc/src/mpcubic.rs crates/cc/src/olia.rs crates/cc/src/reno.rs crates/cc/src/uncoupled.rs crates/cc/src/window.rs crates/cc/src/wvegas.rs
+
+/root/repo/target/release/deps/libmpcc_cc-1babfd3a4a1aafd4.rlib: crates/cc/src/lib.rs crates/cc/src/balia.rs crates/cc/src/bbr.rs crates/cc/src/coupled.rs crates/cc/src/cubic.rs crates/cc/src/lia.rs crates/cc/src/mpcubic.rs crates/cc/src/olia.rs crates/cc/src/reno.rs crates/cc/src/uncoupled.rs crates/cc/src/window.rs crates/cc/src/wvegas.rs
+
+/root/repo/target/release/deps/libmpcc_cc-1babfd3a4a1aafd4.rmeta: crates/cc/src/lib.rs crates/cc/src/balia.rs crates/cc/src/bbr.rs crates/cc/src/coupled.rs crates/cc/src/cubic.rs crates/cc/src/lia.rs crates/cc/src/mpcubic.rs crates/cc/src/olia.rs crates/cc/src/reno.rs crates/cc/src/uncoupled.rs crates/cc/src/window.rs crates/cc/src/wvegas.rs
+
+crates/cc/src/lib.rs:
+crates/cc/src/balia.rs:
+crates/cc/src/bbr.rs:
+crates/cc/src/coupled.rs:
+crates/cc/src/cubic.rs:
+crates/cc/src/lia.rs:
+crates/cc/src/mpcubic.rs:
+crates/cc/src/olia.rs:
+crates/cc/src/reno.rs:
+crates/cc/src/uncoupled.rs:
+crates/cc/src/window.rs:
+crates/cc/src/wvegas.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mpcc_metrics-a7f43f734e3648e3.d: crates/metrics/src/lib.rs crates/metrics/src/series.rs crates/metrics/src/stats.rs
+
+/root/repo/target/release/deps/libmpcc_metrics-a7f43f734e3648e3.rlib: crates/metrics/src/lib.rs crates/metrics/src/series.rs crates/metrics/src/stats.rs
+
+/root/repo/target/release/deps/libmpcc_metrics-a7f43f734e3648e3.rmeta: crates/metrics/src/lib.rs crates/metrics/src/series.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/stats.rs:

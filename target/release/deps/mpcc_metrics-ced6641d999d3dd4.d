@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mpcc_metrics-ced6641d999d3dd4.d: crates/metrics/src/lib.rs crates/metrics/src/series.rs crates/metrics/src/stats.rs
+
+/root/repo/target/release/deps/mpcc_metrics-ced6641d999d3dd4: crates/metrics/src/lib.rs crates/metrics/src/series.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/stats.rs:

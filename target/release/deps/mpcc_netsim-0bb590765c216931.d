@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mpcc_netsim-0bb590765c216931.d: crates/netsim/src/lib.rs crates/netsim/src/ids.rs crates/netsim/src/link.rs crates/netsim/src/network.rs crates/netsim/src/packet.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs
+
+/root/repo/target/release/deps/libmpcc_netsim-0bb590765c216931.rlib: crates/netsim/src/lib.rs crates/netsim/src/ids.rs crates/netsim/src/link.rs crates/netsim/src/network.rs crates/netsim/src/packet.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs
+
+/root/repo/target/release/deps/libmpcc_netsim-0bb590765c216931.rmeta: crates/netsim/src/lib.rs crates/netsim/src/ids.rs crates/netsim/src/link.rs crates/netsim/src/network.rs crates/netsim/src/packet.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/ids.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mpcc_netsim-3e26ca9be5998aa9.d: crates/netsim/src/lib.rs crates/netsim/src/ids.rs crates/netsim/src/link.rs crates/netsim/src/network.rs crates/netsim/src/packet.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs
+
+/root/repo/target/release/deps/mpcc_netsim-3e26ca9be5998aa9: crates/netsim/src/lib.rs crates/netsim/src/ids.rs crates/netsim/src/link.rs crates/netsim/src/network.rs crates/netsim/src/packet.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/ids.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/trace.rs:

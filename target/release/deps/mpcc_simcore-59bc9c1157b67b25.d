@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mpcc_simcore-59bc9c1157b67b25.d: crates/simcore/src/lib.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs crates/simcore/src/units.rs
+
+/root/repo/target/release/deps/libmpcc_simcore-59bc9c1157b67b25.rlib: crates/simcore/src/lib.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs crates/simcore/src/units.rs
+
+/root/repo/target/release/deps/libmpcc_simcore-59bc9c1157b67b25.rmeta: crates/simcore/src/lib.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs crates/simcore/src/units.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/queue.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/units.rs:

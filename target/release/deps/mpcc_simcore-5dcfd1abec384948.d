@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mpcc_simcore-5dcfd1abec384948.d: crates/simcore/src/lib.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs crates/simcore/src/units.rs
+
+/root/repo/target/release/deps/mpcc_simcore-5dcfd1abec384948: crates/simcore/src/lib.rs crates/simcore/src/queue.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs crates/simcore/src/units.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/queue.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/time.rs:
+crates/simcore/src/units.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mpcc_suite-16ca8d471074393e.d: src/lib.rs
+
+/root/repo/target/release/deps/libmpcc_suite-16ca8d471074393e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmpcc_suite-16ca8d471074393e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mpcc_suite-5b98730a09285b69.d: src/lib.rs
+
+/root/repo/target/release/deps/mpcc_suite-5b98730a09285b69: src/lib.rs
+
+src/lib.rs:

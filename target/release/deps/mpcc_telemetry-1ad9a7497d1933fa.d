@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mpcc_telemetry-1ad9a7497d1933fa.d: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/sink.rs crates/telemetry/src/stats.rs
+
+/root/repo/target/release/deps/libmpcc_telemetry-1ad9a7497d1933fa.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/sink.rs crates/telemetry/src/stats.rs
+
+/root/repo/target/release/deps/libmpcc_telemetry-1ad9a7497d1933fa.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/sink.rs crates/telemetry/src/stats.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/stats.rs:

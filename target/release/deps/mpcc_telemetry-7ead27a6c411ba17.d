@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mpcc_telemetry-7ead27a6c411ba17.d: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/sink.rs crates/telemetry/src/stats.rs
+
+/root/repo/target/release/deps/mpcc_telemetry-7ead27a6c411ba17: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/sink.rs crates/telemetry/src/stats.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/stats.rs:

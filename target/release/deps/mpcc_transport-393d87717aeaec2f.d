@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mpcc_transport-393d87717aeaec2f.d: crates/transport/src/lib.rs crates/transport/src/connection.rs crates/transport/src/controller.rs crates/transport/src/mi.rs crates/transport/src/ranges.rs crates/transport/src/receiver.rs crates/transport/src/rtt.rs crates/transport/src/sack.rs crates/transport/src/scheduler.rs crates/transport/src/sender.rs crates/transport/src/subflow.rs
+
+/root/repo/target/release/deps/mpcc_transport-393d87717aeaec2f: crates/transport/src/lib.rs crates/transport/src/connection.rs crates/transport/src/controller.rs crates/transport/src/mi.rs crates/transport/src/ranges.rs crates/transport/src/receiver.rs crates/transport/src/rtt.rs crates/transport/src/sack.rs crates/transport/src/scheduler.rs crates/transport/src/sender.rs crates/transport/src/subflow.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/connection.rs:
+crates/transport/src/controller.rs:
+crates/transport/src/mi.rs:
+crates/transport/src/ranges.rs:
+crates/transport/src/receiver.rs:
+crates/transport/src/rtt.rs:
+crates/transport/src/sack.rs:
+crates/transport/src/scheduler.rs:
+crates/transport/src/sender.rs:
+crates/transport/src/subflow.rs:

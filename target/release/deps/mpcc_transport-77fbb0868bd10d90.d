@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/mpcc_transport-77fbb0868bd10d90.d: crates/transport/src/lib.rs crates/transport/src/connection.rs crates/transport/src/controller.rs crates/transport/src/mi.rs crates/transport/src/ranges.rs crates/transport/src/receiver.rs crates/transport/src/rtt.rs crates/transport/src/sack.rs crates/transport/src/scheduler.rs crates/transport/src/sender.rs crates/transport/src/subflow.rs
+
+/root/repo/target/release/deps/libmpcc_transport-77fbb0868bd10d90.rlib: crates/transport/src/lib.rs crates/transport/src/connection.rs crates/transport/src/controller.rs crates/transport/src/mi.rs crates/transport/src/ranges.rs crates/transport/src/receiver.rs crates/transport/src/rtt.rs crates/transport/src/sack.rs crates/transport/src/scheduler.rs crates/transport/src/sender.rs crates/transport/src/subflow.rs
+
+/root/repo/target/release/deps/libmpcc_transport-77fbb0868bd10d90.rmeta: crates/transport/src/lib.rs crates/transport/src/connection.rs crates/transport/src/controller.rs crates/transport/src/mi.rs crates/transport/src/ranges.rs crates/transport/src/receiver.rs crates/transport/src/rtt.rs crates/transport/src/sack.rs crates/transport/src/scheduler.rs crates/transport/src/sender.rs crates/transport/src/subflow.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/connection.rs:
+crates/transport/src/controller.rs:
+crates/transport/src/mi.rs:
+crates/transport/src/ranges.rs:
+crates/transport/src/receiver.rs:
+crates/transport/src/rtt.rs:
+crates/transport/src/sack.rs:
+crates/transport/src/scheduler.rs:
+crates/transport/src/sender.rs:
+crates/transport/src/subflow.rs:

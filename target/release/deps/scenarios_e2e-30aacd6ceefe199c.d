@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scenarios_e2e-30aacd6ceefe199c.d: tests/scenarios_e2e.rs
+
+/root/repo/target/release/deps/scenarios_e2e-30aacd6ceefe199c: tests/scenarios_e2e.rs
+
+tests/scenarios_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smoke_e2e-8a975866efab66d4.d: tests/smoke_e2e.rs
+
+/root/repo/target/release/deps/smoke_e2e-8a975866efab66d4: tests/smoke_e2e.rs
+
+tests/smoke_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_determinism-108f8b1a03c79b5b.d: tests/telemetry_determinism.rs
+
+/root/repo/target/release/deps/telemetry_determinism-108f8b1a03c79b5b: tests/telemetry_determinism.rs
+
+tests/telemetry_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theory_properties-8b5642941418f2a2.d: tests/theory_properties.rs
+
+/root/repo/target/release/deps/theory_properties-8b5642941418f2a2: tests/theory_properties.rs
+
+tests/theory_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transport_invariants-9a29d57fff69bdc5.d: tests/transport_invariants.rs
+
+/root/repo/target/release/deps/transport_invariants-9a29d57fff69bdc5: tests/transport_invariants.rs
+
+tests/transport_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/datacenter-8bc12a80ef12c9f2.d: examples/datacenter.rs
+
+/root/repo/target/release/examples/datacenter-8bc12a80ef12c9f2: examples/datacenter.rs
+
+examples/datacenter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/lossy_link-2f9e6e4dc0cd5f75.d: examples/lossy_link.rs
+
+/root/repo/target/release/examples/lossy_link-2f9e6e4dc0cd5f75: examples/lossy_link.rs
+
+examples/lossy_link.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6a02dc4ea0fa2bfb.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6a02dc4ea0fa2bfb: examples/quickstart.rs
+
+examples/quickstart.rs:

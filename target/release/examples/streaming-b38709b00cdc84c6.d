@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/streaming-b38709b00cdc84c6.d: examples/streaming.rs
+
+/root/repo/target/release/examples/streaming-b38709b00cdc84c6: examples/streaming.rs
+
+examples/streaming.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/wifi_lte-349888ad190606d6.d: examples/wifi_lte.rs
+
+/root/repo/target/release/examples/wifi_lte-349888ad190606d6: examples/wifi_lte.rs
+
+examples/wifi_lte.rs:

@@ -24,8 +24,8 @@ fn run_mpcc(assignment: &[Vec<usize>], n_links: usize, seed: u64) -> Vec<f64> {
     for (i, conn_paths) in paths.into_iter().enumerate() {
         let recv = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
         let cc = Mpcc::new(MpccConfig::loss().with_seed(seed ^ (i as u64 + 1)));
-        let cfg = SenderConfig::bulk(recv, conn_paths)
-            .with_scheduler(SchedulerKind::paper_rate_based());
+        let cfg =
+            SenderConfig::bulk(recv, conn_paths).with_scheduler(SchedulerKind::paper_rate_based());
         senders.push(sim.add_endpoint(Box::new(MpSender::new(cfg, Box::new(cc)))));
     }
     sim.run_until(SimTime::from_secs(45));
@@ -101,8 +101,7 @@ fn run_shared_link(seed: u64) -> (f64, f64) {
     let mut sim = net.sim;
     let recv_mp = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
     let mp_id = sim.add_endpoint(Box::new(MpSender::new(
-        SenderConfig::bulk(recv_mp, vec![p1, p2])
-            .with_scheduler(SchedulerKind::paper_rate_based()),
+        SenderConfig::bulk(recv_mp, vec![p1, p2]).with_scheduler(SchedulerKind::paper_rate_based()),
         Box::new(Mpcc::new(MpccConfig::loss().with_seed(seed ^ 1))),
     )));
     let recv_sp = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
@@ -142,14 +141,12 @@ fn run_mpcc_vs_vivace(seed: u64) -> (f64, f64) {
     let mut sim = net.sim;
     let recv_mp = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
     let mp_id = sim.add_endpoint(Box::new(MpSender::new(
-        SenderConfig::bulk(recv_mp, vec![p0, p1])
-            .with_scheduler(SchedulerKind::paper_rate_based()),
+        SenderConfig::bulk(recv_mp, vec![p0, p1]).with_scheduler(SchedulerKind::paper_rate_based()),
         Box::new(Mpcc::new(MpccConfig::loss().with_seed(1))),
     )));
     let recv_sp = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
     let sp_id = sim.add_endpoint(Box::new(MpSender::new(
-        SenderConfig::bulk(recv_sp, vec![p_sp])
-            .with_scheduler(SchedulerKind::paper_rate_based()),
+        SenderConfig::bulk(recv_sp, vec![p_sp]).with_scheduler(SchedulerKind::paper_rate_based()),
         Box::new(Mpcc::vivace(2)),
     )));
     sim.run_until(SimTime::from_secs(45));

@@ -8,9 +8,7 @@ use mpcc_netsim::link::LinkParams;
 use mpcc_netsim::topology::{parallel_links, uniform_parallel_links, Clos, ClosConfig};
 use mpcc_netsim::trace::{summarize_link, QueueProbe};
 use mpcc_simcore::{Rate, SimDuration, SimTime};
-use mpcc_transport::{
-    MpReceiver, MpSender, MultipathCc, SchedulerKind, SenderConfig, Workload,
-};
+use mpcc_transport::{MpReceiver, MpSender, MultipathCc, SchedulerKind, SenderConfig, Workload};
 
 fn two_link_bulk(
     cc: Box<dyn MultipathCc>,
@@ -65,8 +63,12 @@ fn rate_scheduler_recovers_both_links_under_bbr() {
 
 #[test]
 fn mpcubic_uses_both_links() {
-    let (goodput, fast, slow) =
-        two_link_bulk(Box::new(MpCubic::new()), SchedulerKind::Default, (30, 30), 40);
+    let (goodput, fast, slow) = two_link_bulk(
+        Box::new(MpCubic::new()),
+        SchedulerKind::Default,
+        (30, 30),
+        40,
+    );
     assert!(goodput > 120.0, "goodput {goodput}");
     assert!(fast > 1000 && slow > 1000);
 }
@@ -99,7 +101,7 @@ fn paced_workload_is_app_limited_not_network_limited() {
     let delivered = s.data_acked();
     // 20 bursts of 500 KB released; all but the freshest should be through.
     assert!(
-        delivered >= 9_500_000 && delivered <= 10_000_000,
+        (9_500_000..=10_000_000).contains(&delivered),
         "delivered {delivered}"
     );
 }
@@ -138,8 +140,8 @@ fn queue_probe_sees_bufferbloat_for_loss_based_mpcc() {
     let link = net.links[0];
     let mut sim = net.sim;
     let recv = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
-    let cfg = SenderConfig::bulk(recv, vec![path])
-        .with_scheduler(SchedulerKind::paper_rate_based());
+    let cfg =
+        SenderConfig::bulk(recv, vec![path]).with_scheduler(SchedulerKind::paper_rate_based());
     sim.add_endpoint(Box::new(MpSender::new(
         cfg,
         Box::new(Mpcc::new(MpccConfig::loss().with_seed(2))),
@@ -173,8 +175,8 @@ fn link_capacity_drop_mid_run_is_tracked() {
         LinkParams::paper_default().with_capacity(Rate::from_mbps(20.0)),
     );
     let recv = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
-    let cfg = SenderConfig::bulk(recv, vec![path])
-        .with_scheduler(SchedulerKind::paper_rate_based());
+    let cfg =
+        SenderConfig::bulk(recv, vec![path]).with_scheduler(SchedulerKind::paper_rate_based());
     let sender = sim.add_endpoint(Box::new(MpSender::new(
         cfg,
         Box::new(Mpcc::new(MpccConfig::loss().with_seed(8))),

@@ -1,61 +1,71 @@
-//! Property-based tests of the theory module: the LMMF oracle's defining
-//! properties and the agreement between fluid-model equilibria and the
-//! oracle (Theorems 4.1/5.1/5.2) on randomized parallel-link networks.
+//! Randomized property tests of the theory module: the LMMF oracle's
+//! defining properties and the agreement between fluid-model equilibria and
+//! the oracle (Theorems 4.1/5.1/5.2) on randomized parallel-link networks.
+//!
+//! The cases are generated from a seeded [`SimRng`] rather than a
+//! property-testing framework, so the suite is deterministic, offline, and
+//! every failure names the seed that reproduces it.
 
 use mpcc::theory::{
     fluid_converge, is_equilibrium, lmmf_allocation, lmmf_with_flows, totals, ParallelNetSpec,
 };
 use mpcc::UtilityParams;
-use proptest::prelude::*;
+use mpcc_simcore::SimRng;
 
-/// Strategy: a random parallel-link network with 1–4 links of 10–200 Mbps
-/// and 1–4 connections over non-empty link subsets.
-fn arb_spec() -> impl Strategy<Value = ParallelNetSpec> {
-    (1usize..=4, 1usize..=4).prop_flat_map(|(m, n)| {
-        (
-            proptest::collection::vec(10.0f64..200.0, m),
-            proptest::collection::vec(proptest::collection::vec(0usize..m, 1..=m), n),
-        )
-            .prop_map(|(capacities, conns)| ParallelNetSpec { capacities, conns })
-    })
+/// Draws a random parallel-link network with 1–4 links of 10–200 Mbps and
+/// 1–4 connections over non-empty link subsets.
+fn random_spec(rng: &mut SimRng) -> ParallelNetSpec {
+    let m = rng.range_u64(1, 5) as usize;
+    let n = rng.range_u64(1, 5) as usize;
+    let capacities: Vec<f64> = (0..m).map(|_| rng.range_f64(10.0, 200.0)).collect();
+    let conns: Vec<Vec<usize>> = (0..n)
+        .map(|_| {
+            let k = rng.range_u64(1, m as u64 + 1) as usize;
+            (0..k).map(|_| rng.index(m)).collect()
+        })
+        .collect();
+    ParallelNetSpec { capacities, conns }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The LMMF allocation is feasible: some flow assignment realizes it
-    /// within link capacities, and no connection exceeds the capacity of
-    /// its accessible links.
-    #[test]
-    fn lmmf_is_feasible(spec in arb_spec()) {
+/// The LMMF allocation is feasible: some flow assignment realizes it within
+/// link capacities, and no connection exceeds the capacity of its
+/// accessible links.
+#[test]
+fn lmmf_is_feasible() {
+    let mut rng = SimRng::seed_from_u64(0x11);
+    for case in 0..64 {
+        let spec = random_spec(&mut rng);
         let (tot, flows) = lmmf_with_flows(&spec);
         for (l, &cap) in spec.capacities.iter().enumerate() {
             let used: f64 = flows.iter().map(|f| f[l]).sum();
-            prop_assert!(used <= cap + 0.01, "link {l}: {used} > {cap}");
+            assert!(used <= cap + 0.01, "case {case}: link {l}: {used} > {cap}");
         }
         for (i, t) in tot.iter().enumerate() {
             let flow_sum: f64 = flows[i].iter().sum();
-            prop_assert!((flow_sum - t).abs() < 0.01);
+            assert!((flow_sum - t).abs() < 0.01, "case {case}: conn {i}");
             let reach: f64 = {
                 let mut links = spec.conns[i].clone();
                 links.sort_unstable();
                 links.dedup();
                 links.iter().map(|&l| spec.capacities[l]).sum()
             };
-            prop_assert!(*t <= reach + 0.01);
+            assert!(*t <= reach + 0.01, "case {case}: conn {i}");
         }
     }
+}
 
-    /// Water-filling property: no connection can be raised without lowering
-    /// a connection that is no better off (the max-min criterion). We check
-    /// the simplest consequence: every connection is "blocked" by a
-    /// saturated link or achieves the best rate among its competitors on
-    /// some link it uses.
-    #[test]
-    fn lmmf_no_strict_pareto_waste(spec in arb_spec()) {
+/// Water-filling property: no connection can be raised without lowering a
+/// connection that is no better off (the max-min criterion). We check the
+/// simplest consequence: every connection is "blocked" by a saturated link
+/// on some link it uses.
+#[test]
+fn lmmf_no_strict_pareto_waste() {
+    let mut rng = SimRng::seed_from_u64(0x22);
+    for case in 0..64 {
+        let spec = random_spec(&mut rng);
         let (tot, flows) = lmmf_with_flows(&spec);
-        for i in 0..spec.conns.len() {
-            let mut links = spec.conns[i].clone();
+        for (i, conn) in spec.conns.iter().enumerate() {
+            let mut links = conn.clone();
             links.sort_unstable();
             links.dedup();
             // A connection with spare capacity on every link it uses would
@@ -64,13 +74,22 @@ proptest! {
                 let used: f64 = flows.iter().map(|f| f[l]).sum();
                 used < spec.capacities[l] - 0.01
             });
-            prop_assert!(!all_spare, "conn {i} ({:?} Mbps) wastes capacity", tot[i]);
+            assert!(
+                !all_spare,
+                "case {case}: conn {i} ({:?} Mbps) wastes capacity",
+                tot[i]
+            );
         }
     }
+}
 
-    /// Scaling all capacities scales the allocation (LMMF is homogeneous).
-    #[test]
-    fn lmmf_scales_with_capacity(spec in arb_spec(), k in 1.5f64..3.0) {
+/// Scaling all capacities scales the allocation (LMMF is homogeneous).
+#[test]
+fn lmmf_scales_with_capacity() {
+    let mut rng = SimRng::seed_from_u64(0x33);
+    for case in 0..64 {
+        let spec = random_spec(&mut rng);
+        let k = rng.range_f64(1.5, 3.0);
         let base = lmmf_allocation(&spec);
         let scaled_spec = ParallelNetSpec {
             capacities: spec.capacities.iter().map(|c| c * k).collect(),
@@ -78,19 +97,24 @@ proptest! {
         };
         let scaled = lmmf_allocation(&scaled_spec);
         for (b, s) in base.iter().zip(&scaled) {
-            prop_assert!((s - b * k).abs() < 0.05 * b.max(1.0), "{b} * {k} vs {s}");
+            assert!(
+                (s - b * k).abs() < 0.05 * b.max(1.0),
+                "case {case}: {b} * {k} vs {s}"
+            );
         }
     }
+}
 
-    /// Theorem 5.2 (numerically): fluid gradient dynamics from a random
-    /// start reach an approximate equilibrium whose totals are within a
-    /// small band of the LMMF oracle.
-    #[test]
-    fn fluid_equilibria_are_approximately_lmmf(
-        spec in arb_spec(),
-        start_scale in 1.0f64..30.0,
-    ) {
-        let p = UtilityParams::mpcc_loss();
+/// Theorem 5.2 (numerically): fluid gradient dynamics from a random start
+/// reach an approximate equilibrium whose totals are within a small band of
+/// the LMMF oracle.
+#[test]
+fn fluid_equilibria_are_approximately_lmmf() {
+    let mut rng = SimRng::seed_from_u64(0x44);
+    let p = UtilityParams::mpcc_loss();
+    for case in 0..64 {
+        let spec = random_spec(&mut rng);
+        let start_scale = rng.range_f64(1.0, 30.0);
         let start: Vec<Vec<f64>> = spec
             .conns
             .iter()
@@ -101,16 +125,19 @@ proptest! {
         // deviating subflow can still harvest a few utility units by
         // vacating a slightly-overloaded link; 2-approximate equilibrium
         // is the right notion at this step size.
-        prop_assert!(is_equilibrium(&p, &spec, &rates, 2.0, 2.0), "{rates:?}");
+        assert!(
+            is_equilibrium(&p, &spec, &rates, 2.0, 2.0),
+            "case {case}: {rates:?}"
+        );
         let opt = lmmf_allocation(&spec);
         for (i, (got, want)) in totals(&rates).iter().zip(&opt).enumerate() {
             // The β>3 loss floor permits a bounded overshoot band around
             // the exact LMMF point (the paper's equilibria sit at links
             // loaded to ≤ c·(1+1/(β−2))).
             let tol = (0.12 * want).max(8.0);
-            prop_assert!(
+            assert!(
                 (got - want).abs() <= tol,
-                "conn {i}: fluid {got:.1} vs LMMF {want:.1} in {spec:?}"
+                "case {case}: conn {i}: fluid {got:.1} vs LMMF {want:.1} in {spec:?}"
             );
         }
     }
