@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fairness_convergence-afd6b93def043213.d: tests/fairness_convergence.rs
+
+/root/repo/target/debug/deps/fairness_convergence-afd6b93def043213: tests/fairness_convergence.rs
+
+tests/fairness_convergence.rs:

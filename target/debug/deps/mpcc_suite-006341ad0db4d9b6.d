@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpcc_suite-006341ad0db4d9b6.d: src/lib.rs
+
+/root/repo/target/debug/deps/mpcc_suite-006341ad0db4d9b6: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenarios_e2e-367915384e1670c9.d: tests/scenarios_e2e.rs
+
+/root/repo/target/debug/deps/scenarios_e2e-367915384e1670c9: tests/scenarios_e2e.rs
+
+tests/scenarios_e2e.rs:

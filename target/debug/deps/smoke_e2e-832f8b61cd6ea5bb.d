@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke_e2e-832f8b61cd6ea5bb.d: tests/smoke_e2e.rs
+
+/root/repo/target/debug/deps/smoke_e2e-832f8b61cd6ea5bb: tests/smoke_e2e.rs
+
+tests/smoke_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_determinism-60a0fa4268f81449.d: tests/telemetry_determinism.rs
+
+/root/repo/target/debug/deps/telemetry_determinism-60a0fa4268f81449: tests/telemetry_determinism.rs
+
+tests/telemetry_determinism.rs:

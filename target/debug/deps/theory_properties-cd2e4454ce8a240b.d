@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory_properties-cd2e4454ce8a240b.d: tests/theory_properties.rs
+
+/root/repo/target/debug/deps/theory_properties-cd2e4454ce8a240b: tests/theory_properties.rs
+
+tests/theory_properties.rs:

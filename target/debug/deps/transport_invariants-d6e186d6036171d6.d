@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_invariants-d6e186d6036171d6.d: tests/transport_invariants.rs
+
+/root/repo/target/debug/deps/transport_invariants-d6e186d6036171d6: tests/transport_invariants.rs
+
+tests/transport_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/datacenter-dafb049a8d3764f3.d: examples/datacenter.rs
+
+/root/repo/target/debug/examples/datacenter-dafb049a8d3764f3: examples/datacenter.rs
+
+examples/datacenter.rs:

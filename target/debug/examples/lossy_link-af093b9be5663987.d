@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lossy_link-af093b9be5663987.d: examples/lossy_link.rs
+
+/root/repo/target/debug/examples/lossy_link-af093b9be5663987: examples/lossy_link.rs
+
+examples/lossy_link.rs:

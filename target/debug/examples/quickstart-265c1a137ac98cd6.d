@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-265c1a137ac98cd6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-265c1a137ac98cd6: examples/quickstart.rs
+
+examples/quickstart.rs:

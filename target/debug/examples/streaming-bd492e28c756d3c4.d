@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming-bd492e28c756d3c4.d: examples/streaming.rs
+
+/root/repo/target/debug/examples/streaming-bd492e28c756d3c4: examples/streaming.rs
+
+examples/streaming.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wifi_lte-a68cac54ef991228.d: examples/wifi_lte.rs
+
+/root/repo/target/debug/examples/wifi_lte-a68cac54ef991228: examples/wifi_lte.rs
+
+examples/wifi_lte.rs:
