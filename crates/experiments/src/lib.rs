@@ -17,6 +17,7 @@ pub mod protocols;
 pub mod runner;
 pub mod scenarios;
 
+use runner::Executor;
 use std::path::PathBuf;
 
 /// Global experiment options.
@@ -30,6 +31,10 @@ pub struct ExpConfig {
     pub runs: u64,
     /// Output directory for CSV/JSON results.
     pub out_dir: PathBuf,
+    /// Worker pool every scenario module submits its runs through
+    /// (single-threaded and untraced by default; `--jobs`/`--trace`
+    /// configure it in the binary).
+    pub exec: Executor,
 }
 
 impl Default for ExpConfig {
@@ -39,6 +44,7 @@ impl Default for ExpConfig {
             seed: 20201201, // CoNEXT '20 opening day
             runs: 1,
             out_dir: PathBuf::from("results"),
+            exec: Executor::serial(),
         }
     }
 }

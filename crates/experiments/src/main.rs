@@ -1,12 +1,11 @@
 //! The experiments binary: `experiments <id>... [--full] [--seed N]
-//! [--runs N] [--out DIR] [--trace FILE] [--trace-filter LAYERS]`, or
-//! `experiments all` / `experiments list`.
+//! [--runs N] [--jobs N] [--out DIR] [--trace FILE]
+//! [--trace-filter LAYERS]`, or `experiments all` / `experiments list`.
 
+use mpcc_experiments::runner::{Executor, TraceConfig};
 use mpcc_experiments::scenarios::{self, ALL};
-use mpcc_experiments::{runner, ExpConfig};
-use mpcc_telemetry::{CsvSink, JsonlSink, LayerMask, TraceSink, Tracer};
-use std::path::Path;
-use std::sync::Arc;
+use mpcc_experiments::ExpConfig;
+use mpcc_telemetry::LayerMask;
 use std::time::Instant;
 
 fn main() {
@@ -15,6 +14,9 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
     let mut trace_mask = LayerMask::ALL;
+    let mut jobs: usize = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -30,6 +32,13 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--runs needs an integer");
+            }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--jobs needs an integer >= 1");
             }
             "--out" => {
                 cfg.out_dir = it.next().expect("--out needs a directory").into();
@@ -54,30 +63,30 @@ fn main() {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments <id>... | all | list  [--full] [--seed N] [--runs N] [--out DIR] \
-             [--trace FILE] [--trace-filter controller,transport,link]"
+            "usage: experiments <id>... | all | list  [--full] [--seed N] [--runs N] [--jobs N] \
+             [--out DIR] [--trace FILE] [--trace-filter controller,transport,link]"
         );
         eprintln!("ids: {}", ALL.join(" "));
         std::process::exit(2);
     }
     ids.dedup();
-    if let Some(path) = &trace_path {
-        let path = Path::new(path);
-        let sink: Arc<dyn TraceSink> = if path.extension().is_some_and(|e| e == "csv") {
-            Arc::new(CsvSink::create(path).expect("--trace: cannot create file"))
-        } else {
-            Arc::new(JsonlSink::create(path).expect("--trace: cannot create file"))
-        };
-        runner::install_tracer(Tracer::new(sink, trace_mask));
-    }
+    let trace = trace_path.map(|p| TraceConfig {
+        path: p.into(),
+        mask: trace_mask,
+    });
+    cfg.exec = Executor::new(jobs, trace);
     for id in ids {
         let start = Instant::now();
-        eprintln!(">>> running {id} (full={}, seed={})", cfg.full, cfg.seed);
+        eprintln!(
+            ">>> running {id} (full={}, seed={}, jobs={})",
+            cfg.full,
+            cfg.seed,
+            cfg.exec.jobs()
+        );
         let figures = scenarios::dispatch(&id, &cfg);
         for fig in figures {
             fig.emit(&cfg.out_dir);
         }
         eprintln!("<<< {id} done in {:.1}s", start.elapsed().as_secs_f64());
     }
-    runner::tracer().flush();
 }

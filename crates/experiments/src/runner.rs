@@ -1,6 +1,13 @@
 //! The generic scenario runner: builds a parallel-link simulation from a
 //! declarative description, runs it with periodic sampling, and returns
 //! per-connection/per-subflow results.
+//!
+//! Runs are self-contained — each [`run`] owns its simulation and tracer
+//! end-to-end — so independent (scenario, seed) jobs can be farmed out to
+//! the [`Executor`] worker pool. Results always come back in submission
+//! order, and traced runs write to per-run sink files that the executor
+//! merges in run-id order, so `--jobs N` output is byte-identical to
+//! `--jobs 1`.
 
 use crate::protocols;
 use mpcc_metrics::{RateSeries, Summary};
@@ -8,24 +15,225 @@ use mpcc_netsim::link::{LinkParams, LinkStats};
 use mpcc_netsim::topology::parallel_links;
 use mpcc_netsim::EndpointId;
 use mpcc_simcore::{rng::splitmix64, SimDuration, SimTime};
-use mpcc_telemetry::Tracer;
+use mpcc_telemetry::{CsvSink, JsonlSink, LayerMask, Record, TraceSink, Tracer};
 use mpcc_transport::{MpReceiver, MpSender, SenderConfig, Workload};
-use std::sync::OnceLock;
+use std::collections::VecDeque;
+use std::io::{self, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::{fmt, fs};
 
-/// The process-wide tracer installed by the binary's `--trace` flag.
-/// `Tracer::off()` (the default when nothing is installed) makes every
-/// emission a no-op, so untraced runs pay nothing.
-static TRACER: OnceLock<Tracer> = OnceLock::new();
-
-/// Installs the process-wide tracer attached to every scenario run.
-/// Call at most once, before any [`run`]; later calls are ignored.
-pub fn install_tracer(tracer: Tracer) {
-    let _ = TRACER.set(tracer);
+/// Where traced runs write their records.
+///
+/// Each run gets its own sink file (`<stem>.run<NNNNN>.<ext>`) so
+/// concurrent runs never interleave records; once a batch completes the
+/// [`Executor`] appends the per-run files to `path` in run-id order and
+/// removes them. Run ids are assigned at submission, which makes the
+/// merged trace independent of the worker count.
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    /// The merged output file (`.csv` selects CSV, anything else JSONL).
+    pub path: PathBuf,
+    /// Layers to record.
+    pub mask: LayerMask,
 }
 
-/// The installed tracer, or an off tracer when none was installed.
-pub fn tracer() -> Tracer {
-    TRACER.get().cloned().unwrap_or_default()
+impl TraceConfig {
+    fn is_csv(&self) -> bool {
+        self.path.extension().is_some_and(|e| e == "csv")
+    }
+
+    /// The per-run sink file for `run_id`.
+    pub fn run_path(&self, run_id: u64) -> PathBuf {
+        let stem = self
+            .path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("trace");
+        let ext = self
+            .path
+            .extension()
+            .and_then(|s| s.to_str())
+            .unwrap_or("jsonl");
+        self.path
+            .with_file_name(format!("{stem}.run{run_id:05}.{ext}"))
+    }
+
+    fn make_tracer(&self, run_id: u64) -> io::Result<Tracer> {
+        let path = self.run_path(run_id);
+        let sink: Arc<dyn TraceSink> = if self.is_csv() {
+            Arc::new(CsvSink::create(&path)?)
+        } else {
+            Arc::new(JsonlSink::create(&path)?)
+        };
+        Ok(Tracer::new(sink, self.mask))
+    }
+}
+
+struct ExecInner {
+    jobs: usize,
+    trace: Option<TraceConfig>,
+    /// Monotonic run-id counter, shared by every clone of the executor so
+    /// per-run trace files never collide across batches.
+    next_run_id: AtomicU64,
+}
+
+/// A deterministic worker pool for experiment runs.
+///
+/// Jobs execute on up to `jobs` threads, but results are returned — and
+/// traces merged — strictly in submission order, so any worker count
+/// produces identical output. Cloning shares the pool configuration and
+/// the run-id counter.
+#[derive(Clone)]
+pub struct Executor {
+    inner: Arc<ExecInner>,
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("jobs", &self.inner.jobs)
+            .field("trace", &self.inner.trace)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::serial()
+    }
+}
+
+impl Executor {
+    /// A single-threaded, untraced executor (the library default).
+    pub fn serial() -> Self {
+        Executor::new(1, None)
+    }
+
+    /// An executor running up to `jobs` scenarios concurrently. When
+    /// `trace` is set, the merged trace file is created (truncated) here —
+    /// CSV output gets its header row exactly once, up front; the per-run
+    /// files merged in later have theirs stripped.
+    pub fn new(jobs: usize, trace: Option<TraceConfig>) -> Self {
+        if let Some(tc) = &trace {
+            let mut f = fs::File::create(&tc.path)
+                .unwrap_or_else(|e| panic!("cannot create trace file {:?}: {e}", tc.path));
+            if tc.is_csv() {
+                writeln!(f, "{}", Record::csv_header()).expect("cannot write trace header");
+            }
+        }
+        Executor {
+            inner: Arc::new(ExecInner {
+                jobs: jobs.max(1),
+                trace,
+                next_run_id: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.inner.jobs
+    }
+
+    /// Maps `f` over `items` on up to [`Executor::jobs`] worker threads.
+    /// Results come back in submission order regardless of completion
+    /// order; a panicking job propagates once all workers have joined.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.inner.jobs.min(n);
+        if workers <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let queue: Mutex<VecDeque<(usize, T)>> =
+            Mutex::new(items.into_iter().enumerate().collect());
+        let slots: Vec<Mutex<Option<R>>> = std::iter::repeat_with(|| Mutex::new(None))
+            .take(n)
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let job = queue.lock().expect("job queue poisoned").pop_front();
+                    match job {
+                        Some((i, item)) => {
+                            *slots[i].lock().expect("result slot poisoned") = Some(f(item));
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker filled every slot")
+            })
+            .collect()
+    }
+
+    /// Runs a batch of independent scenarios across the pool, returning
+    /// results in submission order. With tracing configured, each run
+    /// writes its own sink file and the batch's files are merged into the
+    /// main trace file in run-id (= submission) order afterwards.
+    pub fn run_batch(&self, scs: Vec<Scenario>) -> Vec<RunResult> {
+        // Run ids are assigned before anything executes: the merge below
+        // orders by id, never by completion.
+        let jobs: Vec<Scenario> = scs
+            .into_iter()
+            .map(|mut sc| {
+                let id = self.inner.next_run_id.fetch_add(1, Ordering::Relaxed);
+                if let Some(tc) = &self.inner.trace {
+                    sc.tracer = tc
+                        .make_tracer(id)
+                        .unwrap_or_else(|e| panic!("cannot create per-run trace file: {e}"));
+                }
+                sc.run_id = id;
+                sc
+            })
+            .collect();
+        let ids: Vec<u64> = jobs.iter().map(|sc| sc.run_id).collect();
+        let results = self.map(jobs, |sc| run(&sc));
+        if let Some(tc) = &self.inner.trace {
+            merge_traces(tc, &ids).expect("cannot merge per-run trace files");
+        }
+        results
+    }
+
+    /// Runs one scenario through the pool machinery (so it is traced and
+    /// merged like any batch member).
+    pub fn run_one(&self, sc: &Scenario) -> RunResult {
+        self.run_batch(vec![sc.clone()]).pop().expect("one result")
+    }
+}
+
+/// Appends each per-run trace file to the merged file in run-id order and
+/// removes it. Per-run CSV files carry their own header row, which is
+/// skipped — the merged file got one at [`Executor::new`].
+fn merge_traces(tc: &TraceConfig, ids: &[u64]) -> io::Result<()> {
+    let mut out = io::BufWriter::new(fs::OpenOptions::new().append(true).open(&tc.path)?);
+    for &id in ids {
+        let part = tc.run_path(id);
+        let data = fs::read(&part)?;
+        let body: &[u8] = if tc.is_csv() {
+            match data.iter().position(|&b| b == b'\n') {
+                Some(i) => &data[i + 1..],
+                None => &[],
+            }
+        } else {
+            &data
+        };
+        out.write_all(body)?;
+        fs::remove_file(&part)?;
+    }
+    out.flush()
 }
 
 /// One connection of a scenario.
@@ -71,11 +279,16 @@ pub struct Scenario {
     pub sample_every: SimDuration,
     /// Scheduled link parameter changes (§7.2.3): (time, link, params).
     pub link_changes: Vec<(SimTime, usize, LinkParams)>,
+    /// The tracer this run emits into (off by default; the [`Executor`]
+    /// attaches a per-run sink when `--trace` is configured).
+    pub tracer: Tracer,
+    /// The executor-assigned run id (0 for standalone runs).
+    pub run_id: u64,
 }
 
 impl Scenario {
     /// A scenario over `links` with the usual defaults (60 s run, 10 s
-    /// warmup, 1 s samples).
+    /// warmup, 1 s samples, tracing off).
     pub fn new(seed: u64, links: Vec<LinkParams>, conns: Vec<ConnSpec>) -> Self {
         Scenario {
             seed,
@@ -85,6 +298,8 @@ impl Scenario {
             warmup: SimDuration::from_secs(10),
             sample_every: SimDuration::from_secs(1),
             link_changes: Vec::new(),
+            tracer: Tracer::off(),
+            run_id: 0,
         }
     }
 
@@ -98,6 +313,12 @@ impl Scenario {
     /// Sets the sampling interval.
     pub fn with_sampling(mut self, every: SimDuration) -> Self {
         self.sample_every = every;
+        self
+    }
+
+    /// Attaches a tracer for this run.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 }
@@ -151,7 +372,9 @@ impl RunResult {
     }
 }
 
-/// Runs a scenario to completion.
+/// Runs a scenario to completion. The run is fully self-contained: it
+/// owns its simulation and emits only into the scenario's own tracer, so
+/// concurrent runs never share mutable state.
 pub fn run(sc: &Scenario) -> RunResult {
     let mut net = parallel_links(sc.seed, &sc.links);
     // Paths: one per (connection, subflow); paths over the same link are
@@ -162,7 +385,7 @@ pub fn run(sc: &Scenario) -> RunResult {
         sim_paths.push(paths);
     }
     let mut sim = net.sim;
-    sim.set_tracer(tracer());
+    sim.set_tracer(sc.tracer.clone());
     for (t, link, params) in &sc.link_changes {
         sim.schedule_link_change(*t, net.links[*link], *params);
     }
@@ -208,7 +431,7 @@ pub fn run(sc: &Scenario) -> RunResult {
             series[i].push_cumulative(t, sender.data_acked());
             for k in 0..sc.conns[i].links.len() {
                 if k < sender.num_subflows() {
-                    let stats = sender.subflow_stats(k);
+                    let stats = sender.subflow_stats(k, t);
                     sf_series[i][k].push_cumulative(t, stats.delivered_bytes);
                     srtt[i][k].push((t, stats.srtt.as_millis_f64()));
                 }
@@ -223,7 +446,7 @@ pub fn run(sc: &Scenario) -> RunResult {
         let (mut lost, mut sent) = (0, 0);
         let active_sfs = sender.num_subflows();
         for k in 0..active_sfs {
-            let s = sender.subflow_stats(k);
+            let s = sender.subflow_stats(k, end);
             lost += s.lost_packets;
             sent += s.sent_packets;
         }
@@ -240,7 +463,7 @@ pub fn run(sc: &Scenario) -> RunResult {
     }
     let total = conns.iter().map(|c| c.goodput_mbps).sum();
     let links = net.links.iter().map(|&l| sim.link_stats(l)).collect();
-    tracer().flush();
+    sc.tracer.flush();
     RunResult {
         conns,
         links,
@@ -248,24 +471,47 @@ pub fn run(sc: &Scenario) -> RunResult {
     }
 }
 
-/// Runs `runs` seeds of the same scenario and returns the per-connection
-/// goodput summaries (index = connection).
-pub fn run_seeds(sc: &Scenario, runs: u64) -> Vec<Summary> {
-    let mut per_conn: Vec<Vec<f64>> = vec![Vec::new(); sc.conns.len()];
-    for r in 0..runs {
-        let mut sc_r = sc.clone();
-        sc_r.seed = splitmix64(sc.seed ^ splitmix64(r + 1));
-        let result = run(&sc_r);
-        for (i, c) in result.conns.iter().enumerate() {
-            per_conn[i].push(c.goodput_mbps);
+/// Expands each scenario into `runs` independent seed-jobs (seeds derived
+/// via `splitmix64`, identical to what serial repetition produced), runs
+/// them all as one batch, and returns the per-connection goodput summaries
+/// — one `Vec<Summary>` (index = connection) per input scenario.
+pub fn run_seeds_batch(exec: &Executor, scs: &[Scenario], runs: u64) -> Vec<Vec<Summary>> {
+    let mut jobs = Vec::with_capacity(scs.len() * runs as usize);
+    for sc in scs {
+        for r in 0..runs {
+            let mut sc_r = sc.clone();
+            sc_r.seed = splitmix64(sc.seed ^ splitmix64(r + 1));
+            jobs.push(sc_r);
         }
     }
-    per_conn.iter().map(|v| Summary::of(v)).collect()
+    let mut results = exec.run_batch(jobs).into_iter();
+    scs.iter()
+        .map(|sc| {
+            let mut per_conn: Vec<Vec<f64>> = vec![Vec::new(); sc.conns.len()];
+            for _ in 0..runs {
+                let result = results.next().expect("one result per job");
+                for (i, c) in result.conns.iter().enumerate() {
+                    per_conn[i].push(c.goodput_mbps);
+                }
+            }
+            per_conn.iter().map(|v| Summary::of(v)).collect()
+        })
+        .collect()
+}
+
+/// Runs `runs` seeds of the same scenario and returns the per-connection
+/// goodput summaries (index = connection). See [`run_seeds_batch`].
+pub fn run_seeds(exec: &Executor, sc: &Scenario, runs: u64) -> Vec<Summary> {
+    run_seeds_batch(exec, std::slice::from_ref(sc), runs)
+        .pop()
+        .expect("one scenario in, one summary set out")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mpcc_simcore::Rate;
+    use std::path::Path;
 
     #[test]
     fn reno_fills_default_link() {
@@ -331,14 +577,122 @@ mod tests {
         sc.link_changes.push((
             SimTime::from_secs(10),
             0,
-            LinkParams::paper_default().with_capacity(mpcc_simcore::Rate::from_mbps(10.0)),
+            LinkParams::paper_default().with_capacity(Rate::from_mbps(10.0)),
         ));
         let result = run(&sc);
-        let early = result.conns[0].series.mean_after(SimTime::from_secs(2))
-            - result.conns[0].series.mean_after(SimTime::from_secs(12));
-        // Goodput after the cut must be far below the early value.
-        let late = result.conns[0].series.mean_after(SimTime::from_secs(12));
+        let series = &result.conns[0].series;
+        // Steady state on the 100 Mbps link before the 10 s capacity cut
+        // vs steady state after it.
+        let early = series.mean_between(SimTime::from_secs(2), SimTime::from_secs(10));
+        let late = series.mean_after(SimTime::from_secs(12));
+        assert!(early > 50.0, "early {early}");
         assert!(late < 15.0, "late {late}");
-        assert!(early > 0.0);
+        assert!(early > 3.0 * late, "early {early} vs late {late}");
+    }
+
+    /// A small, fast scenario for the executor tests.
+    fn tiny(seed: u64) -> Scenario {
+        Scenario::new(
+            seed,
+            vec![LinkParams::paper_default().with_capacity(Rate::from_mbps(5.0))],
+            vec![ConnSpec::bulk("reno", vec![0])],
+        )
+        .with_duration(SimDuration::from_secs(6), SimDuration::from_secs(1))
+    }
+
+    #[test]
+    fn map_preserves_submission_order() {
+        let exec = Executor::new(4, None);
+        let out = exec.map((0..100u64).collect::<Vec<_>>(), |i| i * 2);
+        assert_eq!(out, (0..100u64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial() {
+        let mk = || (1..=4).map(tiny).collect::<Vec<_>>();
+        let serial = Executor::serial().run_batch(mk());
+        let par = Executor::new(4, None).run_batch(mk());
+        assert_eq!(serial.len(), par.len());
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(a.conns.len(), b.conns.len());
+            for (ca, cb) in a.conns.iter().zip(&b.conns) {
+                // Bit-identical, not approximately equal: parallelism must
+                // not perturb the simulation at all.
+                assert_eq!(ca.goodput_mbps.to_bits(), cb.goodput_mbps.to_bits());
+                assert_eq!(ca.sent_packets, cb.sent_packets);
+                assert_eq!(ca.lost_packets, cb.lost_packets);
+            }
+        }
+    }
+
+    #[test]
+    fn seed_batches_match_serial_repetition() {
+        let sc = tiny(7);
+        // Hand-rolled serial repetition with the original seed schedule.
+        let mut expect: Vec<Vec<f64>> = vec![Vec::new(); sc.conns.len()];
+        for r in 0..3 {
+            let mut sc_r = sc.clone();
+            sc_r.seed = splitmix64(sc.seed ^ splitmix64(r + 1));
+            let result = run(&sc_r);
+            for (i, c) in result.conns.iter().enumerate() {
+                expect[i].push(c.goodput_mbps);
+            }
+        }
+        let exec = Executor::new(3, None);
+        let got = run_seeds(&exec, &sc, 3);
+        for (i, s) in got.iter().enumerate() {
+            let e = Summary::of(&expect[i]);
+            assert_eq!(s.mean.to_bits(), e.mean.to_bits());
+        }
+    }
+
+    #[test]
+    fn traced_parallel_merge_is_deterministic() {
+        let dir = std::env::temp_dir().join(format!("mpcc-exec-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let mask = LayerMask::parse("transport").unwrap();
+        let run_with = |jobs: usize, path: &Path| {
+            let exec = Executor::new(
+                jobs,
+                Some(TraceConfig {
+                    path: path.to_path_buf(),
+                    mask,
+                }),
+            );
+            exec.run_batch((1..=3).map(tiny).collect());
+        };
+
+        // JSONL: merged bytes identical across worker counts.
+        let j1 = dir.join("serial.jsonl");
+        let j4 = dir.join("par.jsonl");
+        run_with(1, &j1);
+        run_with(4, &j4);
+        let b1 = fs::read(&j1).unwrap();
+        assert!(!b1.is_empty(), "traced runs must emit records");
+        assert_eq!(b1, fs::read(&j4).unwrap());
+
+        // CSV: identical too, and exactly one header row (per-run headers
+        // are stripped in the merge).
+        let c1 = dir.join("serial.csv");
+        let c4 = dir.join("par.csv");
+        run_with(1, &c1);
+        run_with(4, &c4);
+        let s1 = fs::read_to_string(&c1).unwrap();
+        assert_eq!(s1, fs::read_to_string(&c4).unwrap());
+        let header = Record::csv_header();
+        assert_eq!(s1.lines().next(), Some(header));
+        assert_eq!(s1.lines().filter(|l| *l == header).count(), 1);
+
+        // Per-run files are cleaned up after the merge.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".run"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "per-run files left behind: {leftovers:?}"
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -12,7 +12,7 @@
 //!   the latency/throughput trade-off behind MPCC-loss vs MPCC-latency.
 
 use crate::output::{f2, Figure};
-use crate::runner::{run as run_scenario, ConnSpec, Scenario};
+use crate::runner::{ConnSpec, Scenario};
 use crate::ExpConfig;
 use mpcc_netsim::link::LinkParams;
 use mpcc_simcore::rng::splitmix64;
@@ -37,14 +37,19 @@ fn a1(cfg: &ExpConfig) -> Figure {
         LinkParams::paper_default().with_delay(SimDuration::from_millis(10)),
         LinkParams::paper_default().with_delay(SimDuration::from_millis(100)),
     ];
-    for proto in ["mpcc-loss", "mpcc-conn-level"] {
-        let sc = Scenario::new(
-            splitmix64(cfg.seed ^ 0xA1),
-            links.clone(),
-            vec![ConnSpec::bulk(proto, vec![0, 1])],
-        )
-        .with_duration(duration, warmup);
-        let result = run_scenario(&sc);
+    let protos = ["mpcc-loss", "mpcc-conn-level"];
+    let scs: Vec<Scenario> = protos
+        .iter()
+        .map(|proto| {
+            Scenario::new(
+                splitmix64(cfg.seed ^ 0xA1),
+                links.clone(),
+                vec![ConnSpec::bulk(proto, vec![0, 1])],
+            )
+            .with_duration(duration, warmup)
+        })
+        .collect();
+    for (proto, result) in protos.iter().zip(cfg.exec.run_batch(scs)) {
         // Time to first reach half the 200 Mbps capacity.
         let t80 = result.conns[0]
             .series
@@ -80,7 +85,9 @@ fn a2(cfg: &ExpConfig) -> Figure {
         LinkParams::paper_default().with_capacity(Rate::from_mbps(20.0)),
         LinkParams::paper_default().with_capacity(Rate::from_mbps(300.0)),
     ];
-    for (label, own_rate) in [("of_connection_total", false), ("of_own_rate", true)] {
+    // Both ω-scaling variants run independently: fan out via the pool.
+    let variants = vec![("of_connection_total", false), ("of_own_rate", true)];
+    let rows = cfg.exec.map(variants, |(label, own_rate)| {
         let mut net = parallel_links(splitmix64(cfg.seed ^ 0xA2), &links);
         let p0 = net.path(0);
         let p1 = net.path(1);
@@ -94,18 +101,23 @@ fn a2(cfg: &ExpConfig) -> Figure {
         let scfg = SenderConfig::bulk(recv, vec![p0, p1])
             .with_scheduler(SchedulerKind::paper_rate_based());
         let sender = sim.add_endpoint(Box::new(MpSender::new(scfg, Box::new(Mpcc::new(mcfg)))));
-        sim.run_until(SimTime::ZERO + warmup);
+        let warm_end = SimTime::ZERO + warmup;
+        sim.run_until(warm_end);
         let (a0, s0) = {
             let s = sim.endpoint::<MpSender>(sender);
-            (s.data_acked(), s.subflow_stats(0).delivered_bytes)
+            (s.data_acked(), s.subflow_stats(0, warm_end).delivered_bytes)
         };
-        sim.run_until(SimTime::ZERO + duration);
+        let end = SimTime::ZERO + duration;
+        sim.run_until(end);
         let s = sim.endpoint::<MpSender>(sender);
         let span = duration.as_secs_f64() - warmup.as_secs_f64();
         let goodput = (s.data_acked() - a0) as f64 * 8.0 / span / 1e6;
-        let slow_bytes = s.subflow_stats(0).delivered_bytes - s0;
+        let slow_bytes = s.subflow_stats(0, end).delivered_bytes - s0;
         let share = slow_bytes as f64 * 8.0 / span / 1e6 / 20.0 * 100.0;
-        fig.row(vec![label.to_string(), f2(goodput), f2(share)]);
+        vec![label.to_string(), f2(goodput), f2(share)]
+    });
+    for row in rows {
+        fig.row(row);
     }
     fig.note("own-rate scaling's probes on the slow link are tiny relative to the fast link's dynamics — gradient estimates stall (§5.2)");
     fig
@@ -122,15 +134,20 @@ fn a3(cfg: &ExpConfig) -> Figure {
         &["variant", "goodput_mbps", "mean_srtt_ms"],
     );
     let params = LinkParams::paper_default().with_buffer(1_000_000);
-    for proto in ["mpcc-loss", "mpcc-latency"] {
-        let sc = Scenario::new(
-            splitmix64(cfg.seed ^ 0xA3),
-            vec![params, params],
-            vec![ConnSpec::bulk(proto, vec![0, 1])],
-        )
-        .with_duration(duration, warmup)
-        .with_sampling(SimDuration::from_millis(100));
-        let result = run_scenario(&sc);
+    let protos = ["mpcc-loss", "mpcc-latency"];
+    let scs: Vec<Scenario> = protos
+        .iter()
+        .map(|proto| {
+            Scenario::new(
+                splitmix64(cfg.seed ^ 0xA3),
+                vec![params, params],
+                vec![ConnSpec::bulk(proto, vec![0, 1])],
+            )
+            .with_duration(duration, warmup)
+            .with_sampling(SimDuration::from_millis(100))
+        })
+        .collect();
+    for (proto, result) in protos.iter().zip(cfg.exec.run_batch(scs)) {
         let mut sum = 0.0;
         let mut n = 0usize;
         for sf in &result.conns[0].srtt_ms {

@@ -5,7 +5,7 @@
 
 use crate::output::{f3, Figure};
 use crate::protocols::{single_path_peer, MULTIPATH_PROTOCOLS};
-use crate::runner::{run as run_scenario, ConnSpec, Scenario};
+use crate::runner::{ConnSpec, Scenario};
 use crate::ExpConfig;
 use mpcc_netsim::link::LinkParams;
 use mpcc_simcore::rng::splitmix64;
@@ -76,9 +76,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
         &col_refs,
     );
 
-    for topo in topologies() {
-        let mut row_a = vec![topo.name.to_string()];
-        let mut row_b = vec![topo.name.to_string()];
+    // One job per (topology, protocol) pair, submitted as one batch.
+    let topos = topologies();
+    let mut scs = Vec::new();
+    for topo in &topos {
         for proto in MULTIPATH_PROTOCOLS {
             let conns: Vec<ConnSpec> = topo
                 .conns
@@ -92,13 +93,22 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
                     ConnSpec::bulk(p, links.clone())
                 })
                 .collect();
-            let sc = Scenario::new(
-                splitmix64(cfg.seed ^ splitmix64(0x10A ^ topo.name.len() as u64)),
-                vec![LinkParams::paper_default(); topo.n_links],
-                conns,
-            )
-            .with_duration(duration, warmup);
-            let result = run_scenario(&sc);
+            scs.push(
+                Scenario::new(
+                    splitmix64(cfg.seed ^ splitmix64(0x10A ^ topo.name.len() as u64)),
+                    vec![LinkParams::paper_default(); topo.n_links],
+                    conns,
+                )
+                .with_duration(duration, warmup),
+            );
+        }
+    }
+    let mut results = cfg.exec.run_batch(scs).into_iter();
+    for topo in &topos {
+        let mut row_a = vec![topo.name.to_string()];
+        let mut row_b = vec![topo.name.to_string()];
+        for _ in MULTIPATH_PROTOCOLS {
+            let result = results.next().expect("one result per scenario");
             row_a.push(f3(result.jain()));
             row_b.push(f3(result.utilization(100.0 * topo.n_links as f64)));
         }

@@ -4,7 +4,7 @@
 
 use crate::output::{f2, Figure};
 use crate::protocols::single_path_peer;
-use crate::runner::{run as run_scenario, ConnSpec, Scenario};
+use crate::runner::{ConnSpec, Scenario};
 use crate::ExpConfig;
 use mpcc_netsim::link::LinkParams;
 use mpcc_simcore::rng::splitmix64;
@@ -21,19 +21,25 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
         &["protocol", "mp_subflow1", "mp_subflow2", "single_path"],
     );
 
-    for (id, proto) in [("fig11a", "mpcc-latency"), ("fig11b", "balia")] {
-        let sc = Scenario::new(
-            splitmix64(cfg.seed ^ splitmix64(0x11A)),
-            vec![LinkParams::paper_default(), LinkParams::paper_default()],
-            vec![
-                ConnSpec::bulk(proto, vec![0, 1]),
-                ConnSpec::bulk(single_path_peer(proto), vec![1]),
-            ],
-        )
-        .with_duration(duration, warmup)
-        .with_sampling(SimDuration::from_secs(1));
-        let result = run_scenario(&sc);
-
+    // Both protocol runs are independent: submit them as one batch.
+    let cases = [("fig11a", "mpcc-latency"), ("fig11b", "balia")];
+    let scs: Vec<Scenario> = cases
+        .iter()
+        .map(|(_, proto)| {
+            Scenario::new(
+                splitmix64(cfg.seed ^ splitmix64(0x11A)),
+                vec![LinkParams::paper_default(), LinkParams::paper_default()],
+                vec![
+                    ConnSpec::bulk(proto, vec![0, 1]),
+                    ConnSpec::bulk(single_path_peer(proto), vec![1]),
+                ],
+            )
+            .with_duration(duration, warmup)
+            .with_sampling(SimDuration::from_secs(1))
+        })
+        .collect();
+    let results = cfg.exec.run_batch(scs);
+    for ((id, proto), result) in cases.iter().zip(results) {
         let mut fig = Figure::new(
             id,
             &format!("{proto} convergence on topology 3c (subflow 2 shares link 2 with the single-path flow)"),

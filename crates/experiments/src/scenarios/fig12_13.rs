@@ -4,7 +4,7 @@
 //! connection's and Cubic's goodput are reported.
 
 use crate::output::{f2, Figure};
-use crate::runner::{run_seeds, ConnSpec, Scenario};
+use crate::runner::{run_seeds_batch, ConnSpec, Scenario};
 use crate::ExpConfig;
 use mpcc_netsim::link::LinkParams;
 use mpcc_simcore::rng::splitmix64;
@@ -41,24 +41,33 @@ fn run_sweep(
         &format!("single-path Cubic goodput (Mbps) vs {what}"),
         &col_refs,
     );
+    // One job per (sweep point, protocol) pair, submitted as one batch.
+    let mut scs = Vec::new();
     for (label, sweep) in &sweeps {
         let link1 = match *sweep {
             Sweep::Buffer(b) => LinkParams::paper_default().with_buffer(b),
             Sweep::Loss(l) => LinkParams::paper_default().with_random_loss(l),
         };
+        for proto in PROTOCOLS {
+            scs.push(
+                Scenario::new(
+                    splitmix64(cfg.seed ^ splitmix64(0x12C ^ label.len() as u64)),
+                    vec![link1, LinkParams::paper_default()],
+                    vec![
+                        ConnSpec::bulk(proto, vec![0, 1]),
+                        ConnSpec::bulk("cubic", vec![1]),
+                    ],
+                )
+                .with_duration(duration, warmup),
+            );
+        }
+    }
+    let mut summary_sets = run_seeds_batch(&cfg.exec, &scs, cfg.runs()).into_iter();
+    for (label, _) in &sweeps {
         let mut row_mp = vec![label.clone()];
         let mut row_sp = vec![label.clone()];
-        for proto in PROTOCOLS {
-            let sc = Scenario::new(
-                splitmix64(cfg.seed ^ splitmix64(0x12C ^ label.len() as u64)),
-                vec![link1, LinkParams::paper_default()],
-                vec![
-                    ConnSpec::bulk(proto, vec![0, 1]),
-                    ConnSpec::bulk("cubic", vec![1]),
-                ],
-            )
-            .with_duration(duration, warmup);
-            let summaries = run_seeds(&sc, cfg.runs());
+        for _ in PROTOCOLS {
+            let summaries = summary_sets.next().expect("one summary set per scenario");
             row_mp.push(f2(summaries[0].mean));
             row_sp.push(f2(summaries[1].mean));
         }

@@ -11,7 +11,7 @@
 //! runs; `--full` runs the complete grid at paper durations.
 
 use crate::output::{f3, Figure};
-use crate::runner::{run as run_scenario, ConnSpec, Scenario};
+use crate::runner::{ConnSpec, RunResult, Scenario};
 use crate::ExpConfig;
 use mpcc_metrics::Summary;
 use mpcc_netsim::link::LinkParams;
@@ -43,13 +43,13 @@ struct ConfigOutcome {
     jain: f64,
 }
 
-fn run_config(
+fn config_scenario(
     cfg: &ExpConfig,
     proto: &str,
     links: (LinkParams, LinkParams),
     topology_3d: bool,
     idx: usize,
-) -> ConfigOutcome {
+) -> Scenario {
     let duration = cfg.scale(SimDuration::from_secs(25), SimDuration::from_secs(120));
     let warmup = cfg.scale(SimDuration::from_secs(8), SimDuration::from_secs(30));
     let sp = crate::protocols::single_path_peer(proto);
@@ -65,14 +65,16 @@ fn run_config(
             ConnSpec::bulk(sp, vec![1]),
         ]
     };
-    let sc = Scenario::new(
+    Scenario::new(
         splitmix64(cfg.seed ^ splitmix64(0x1415 + idx as u64)),
         vec![links.0, links.1],
         conns,
     )
     .with_duration(duration, warmup)
-    .with_sampling(SimDuration::from_secs(1));
-    let result = run_scenario(&sc);
+    .with_sampling(SimDuration::from_secs(1))
+}
+
+fn outcome(result: &RunResult, links: (LinkParams, LinkParams)) -> ConfigOutcome {
     let capacity = links.0.capacity.mbps() + links.1.capacity.mbps();
     ConfigOutcome {
         utilization: result.utilization(capacity),
@@ -104,15 +106,24 @@ fn run_grid(cfg: &ExpConfig, id: &str, topology_3d: bool) -> Vec<Figure> {
     let stride = if cfg.full { 1 } else { 9 };
     let sampled: Vec<_> = configs.into_iter().step_by(stride).collect();
 
+    // The whole (config × protocol) grid is one batch of independent runs.
+    const GRID_PROTOCOLS: [&str; 3] = ["mpcc-latency", "lia", "olia"];
+    let mut scs = Vec::with_capacity(sampled.len() * GRID_PROTOCOLS.len());
+    for &(i, l0, l1) in &sampled {
+        for proto in GRID_PROTOCOLS {
+            scs.push(config_scenario(cfg, proto, (l0, l1), topology_3d, i));
+        }
+    }
+    let mut results = cfg.exec.run_batch(scs).into_iter();
+
     let mut util_vs_lia = Vec::new();
     let mut util_vs_olia = Vec::new();
     let mut jain_vs_lia = Vec::new();
     let mut jain_vs_olia = Vec::new();
     let mut worst: Vec<(f64, usize)> = Vec::new();
     for &(i, l0, l1) in &sampled {
-        let mpcc = run_config(cfg, "mpcc-latency", (l0, l1), topology_3d, i);
-        let lia = run_config(cfg, "lia", (l0, l1), topology_3d, i);
-        let olia = run_config(cfg, "olia", (l0, l1), topology_3d, i);
+        let mut next = || outcome(&results.next().expect("one result per scenario"), (l0, l1));
+        let (mpcc, lia, olia) = (next(), next(), next());
         let guard = |v: f64| v.max(1e-3);
         util_vs_lia.push(guard(mpcc.utilization) / guard(lia.utilization));
         util_vs_olia.push(guard(mpcc.utilization) / guard(olia.utilization));

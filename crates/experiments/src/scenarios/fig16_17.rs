@@ -11,7 +11,7 @@
 //! substitution preserves the signal (asymmetric, lossy, high-BDP paths).
 
 use crate::output::{f2, Figure};
-use crate::runner::{run as run_scenario, ConnSpec, Scenario};
+use crate::runner::{ConnSpec, Scenario};
 use crate::ExpConfig;
 use mpcc_netsim::link::LinkParams;
 use mpcc_simcore::rng::splitmix64;
@@ -83,7 +83,38 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
     let mut per_home_means: Vec<Vec<f64>> = Vec::new();
     let mut per_server_means: Vec<Vec<f64>> = vec![Vec::new(); SERVERS.len()];
 
+    // All (home, server, protocol) downloads are independent: submit the
+    // full grid as one batch and consume it in the same nested order.
+    let mut scs = Vec::with_capacity(HOMES.len() * SERVERS.len() * PROTOCOLS.len());
     for (hi, home) in HOMES.iter().copied().enumerate() {
+        for (si, server) in SERVERS.iter().enumerate() {
+            let rtt = base_rtt_ms(home, server);
+            for (pi, proto) in PROTOCOLS.iter().enumerate() {
+                scs.push(
+                    Scenario::new(
+                        splitmix64(
+                            cfg.seed
+                                ^ splitmix64(
+                                    0x1617 ^ ((hi as u64) << 40) ^ ((si as u64) << 20) ^ pi as u64,
+                                ),
+                        ),
+                        vec![wifi_path(rtt), lte_path(rtt)],
+                        vec![ConnSpec {
+                            proto: proto.to_string(),
+                            links: vec![0, 1],
+                            workload: Workload::Finite(file_bytes),
+                            start: SimTime::ZERO,
+                        }],
+                    )
+                    .with_duration(SimDuration::from_secs(600), SimDuration::ZERO)
+                    .with_sampling(SimDuration::from_secs(2)),
+                );
+            }
+        }
+    }
+    let mut results = cfg.exec.run_batch(scs).into_iter();
+
+    for home in HOMES {
         let mut columns = vec!["server".to_string()];
         columns.extend(PROTOCOLS.iter().map(|s| s.to_string()));
         let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
@@ -97,30 +128,12 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
         );
         let mut proto_times: Vec<Vec<f64>> = vec![Vec::new(); PROTOCOLS.len()];
         for (si, server) in SERVERS.iter().enumerate() {
-            let rtt = base_rtt_ms(home, server);
             let mut row = vec![server.to_string()];
-            for (pi, proto) in PROTOCOLS.iter().enumerate() {
-                let sc = Scenario::new(
-                    splitmix64(
-                        cfg.seed
-                            ^ splitmix64(
-                                0x1617 ^ ((hi as u64) << 40) ^ ((si as u64) << 20) ^ pi as u64,
-                            ),
-                    ),
-                    vec![wifi_path(rtt), lte_path(rtt)],
-                    vec![ConnSpec {
-                        proto: proto.to_string(),
-                        links: vec![0, 1],
-                        workload: Workload::Finite(file_bytes),
-                        start: SimTime::ZERO,
-                    }],
-                )
-                .with_duration(SimDuration::from_secs(600), SimDuration::ZERO)
-                .with_sampling(SimDuration::from_secs(2));
-                let result = run_scenario(&sc);
+            for times in &mut proto_times {
+                let result = results.next().expect("one result per scenario");
                 let fct = result.conns[0].fct.unwrap_or(600.0);
                 row.push(f2(fct));
-                proto_times[pi].push(fct);
+                times.push(fct);
                 per_server_means[si].push(fct);
             }
             fig.row(row);

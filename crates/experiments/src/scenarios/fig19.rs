@@ -106,60 +106,12 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
         })
         .collect();
 
-    for proto in PROTOCOLS {
-        let seed = splitmix64(cfg.seed ^ 0x1919);
-        let mut clos = Clos::new(
-            seed,
-            ClosConfig {
-                link_capacity: mpcc_simcore::Rate::from_gbps(1.25),
-                buffer: 2_000_000,
-                ..ClosConfig::default()
-            },
-        );
-        let hosts = clos.hosts();
-        let flows = workload(cfg, hosts, splitmix64(seed ^ 1));
-        let mut senders = Vec::new();
-        // Paths must be registered before endpoints run; collect first.
-        let flow_paths: Vec<_> = flows
-            .iter()
-            .map(|f| clos.subflow_paths(f.src, f.dst, 3))
-            .collect();
-        let mut sim = clos.sim;
-        for (i, flow) in flows.iter().enumerate() {
-            let recv = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
-            let cc = protocols::make(proto, splitmix64(seed ^ (0x5EED + i as u64)));
-            let cfg_s = SenderConfig {
-                dst: recv,
-                paths: flow_paths[i].clone(),
-                workload: Workload::Finite(flow.bytes),
-                scheduler: protocols::scheduler_for(proto),
-                start_at: flow.start,
-                peer_buffer: 300_000_000,
-            };
-            senders.push(sim.add_endpoint(Box::new(MpSender::new(cfg_s, cc))));
-        }
-        // Run until all flows complete (or a hard cap).
-        let cap = SimTime::from_secs(cfg.scale(120, 300));
-        let mut t = SimTime::ZERO;
-        loop {
-            t += SimDuration::from_secs(1);
-            sim.run_until(t);
-            let done = senders
-                .iter()
-                .all(|&s| sim.endpoint::<MpSender>(s).is_complete());
-            if done || t >= cap {
-                break;
-            }
-        }
-        // Collect per-class FCTs.
-        let mut fcts: Vec<Vec<f64>> = vec![Vec::new(); 3];
-        let mut incomplete = 0;
-        for (i, flow) in flows.iter().enumerate() {
-            match sim.endpoint::<MpSender>(senders[i]).fct() {
-                Some(d) => fcts[flow.class].push(d.as_secs_f64() * 1000.0),
-                None => incomplete += 1,
-            }
-        }
+    // Each protocol's Clos run is an independent simulation: farm them out
+    // across the worker pool and consume results in PROTOCOLS order.
+    let outcomes = cfg
+        .exec
+        .map(PROTOCOLS.to_vec(), |proto| run_proto(cfg, proto));
+    for (proto, (fcts, incomplete)) in PROTOCOLS.iter().zip(outcomes) {
         for (class, fig) in per_class.iter_mut().enumerate() {
             let s = Summary::of(&fcts[class]);
             fig.row(vec![
@@ -173,8 +125,9 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
             ]);
         }
         if incomplete > 0 {
+            let cap_secs = cfg.scale(120, 300);
             per_class[2].note(format!(
-                "{proto}: {incomplete} flows had not completed at the {cap}-second cap"
+                "{proto}: {incomplete} flows had not completed at the {cap_secs}-second cap"
             ));
         }
     }
@@ -183,4 +136,63 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
         figs.push(fig);
     }
     figs
+}
+
+/// Runs one protocol's complete Clos workload; returns the per-class FCT
+/// samples (ms) and the number of flows still incomplete at the cap.
+fn run_proto(cfg: &ExpConfig, proto: &str) -> (Vec<Vec<f64>>, usize) {
+    let seed = splitmix64(cfg.seed ^ 0x1919);
+    let mut clos = Clos::new(
+        seed,
+        ClosConfig {
+            link_capacity: mpcc_simcore::Rate::from_gbps(1.25),
+            buffer: 2_000_000,
+            ..ClosConfig::default()
+        },
+    );
+    let hosts = clos.hosts();
+    let flows = workload(cfg, hosts, splitmix64(seed ^ 1));
+    let mut senders = Vec::new();
+    // Paths must be registered before endpoints run; collect first.
+    let flow_paths: Vec<_> = flows
+        .iter()
+        .map(|f| clos.subflow_paths(f.src, f.dst, 3))
+        .collect();
+    let mut sim = clos.sim;
+    for (i, flow) in flows.iter().enumerate() {
+        let recv = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
+        let cc = protocols::make(proto, splitmix64(seed ^ (0x5EED + i as u64)));
+        let cfg_s = SenderConfig {
+            dst: recv,
+            paths: flow_paths[i].clone(),
+            workload: Workload::Finite(flow.bytes),
+            scheduler: protocols::scheduler_for(proto),
+            start_at: flow.start,
+            peer_buffer: 300_000_000,
+        };
+        senders.push(sim.add_endpoint(Box::new(MpSender::new(cfg_s, cc))));
+    }
+    // Run until all flows complete (or a hard cap).
+    let cap = SimTime::from_secs(cfg.scale(120, 300));
+    let mut t = SimTime::ZERO;
+    loop {
+        t += SimDuration::from_secs(1);
+        sim.run_until(t);
+        let done = senders
+            .iter()
+            .all(|&s| sim.endpoint::<MpSender>(s).is_complete());
+        if done || t >= cap {
+            break;
+        }
+    }
+    // Collect per-class FCTs.
+    let mut fcts: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut incomplete = 0;
+    for (i, flow) in flows.iter().enumerate() {
+        match sim.endpoint::<MpSender>(senders[i]).fct() {
+            Some(d) => fcts[flow.class].push(d.as_secs_f64() * 1000.0),
+            None => incomplete += 1,
+        }
+    }
+    (fcts, incomplete)
 }

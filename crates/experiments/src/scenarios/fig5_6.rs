@@ -10,7 +10,7 @@
 
 use crate::output::{f2, Figure};
 use crate::protocols::{single_path_peer, MULTIPATH_PROTOCOLS};
-use crate::runner::{run_seeds, ConnSpec, Scenario};
+use crate::runner::{run_seeds_batch, ConnSpec, Scenario};
 use crate::ExpConfig;
 use mpcc_netsim::link::LinkParams;
 use mpcc_simcore::rng::splitmix64;
@@ -64,16 +64,26 @@ fn sweep_3b(cfg: &ExpConfig, id: &str, title: &str, sweeps: Vec<(String, Sweep)>
     let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
     let mut fig = Figure::new(id, title, &col_refs);
     let (duration, warmup) = durations(cfg);
+    // Every (sweep point, protocol) pair is an independent job: submit the
+    // whole grid as one batch and read results back in submission order.
+    let mut scs = Vec::new();
     for (label, sweep) in &sweeps {
-        let mut row = vec![label.clone()];
         for proto in MULTIPATH_PROTOCOLS {
-            let sc = Scenario::new(
-                splitmix64(cfg.seed ^ splitmix64(label.len() as u64)),
-                vec![link1(sweep), LinkParams::paper_default()],
-                vec![ConnSpec::bulk(proto, vec![0, 1])],
-            )
-            .with_duration(duration, warmup);
-            let summary = run_seeds(&sc, cfg.runs());
+            scs.push(
+                Scenario::new(
+                    splitmix64(cfg.seed ^ splitmix64(label.len() as u64)),
+                    vec![link1(sweep), LinkParams::paper_default()],
+                    vec![ConnSpec::bulk(proto, vec![0, 1])],
+                )
+                .with_duration(duration, warmup),
+            );
+        }
+    }
+    let mut summaries = run_seeds_batch(&cfg.exec, &scs, cfg.runs()).into_iter();
+    for (label, _) in &sweeps {
+        let mut row = vec![label.clone()];
+        for _ in MULTIPATH_PROTOCOLS {
+            let summary = summaries.next().expect("one summary set per scenario");
             row.push(f2(summary[0].mean));
         }
         fig.row(row);
@@ -89,19 +99,27 @@ fn sweep_3c(cfg: &ExpConfig, id: &str, title: &str, sweeps: Vec<(String, Sweep)>
     let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
     let mut fig = Figure::new(id, title, &col_refs);
     let (duration, warmup) = durations(cfg);
+    let mut scs = Vec::new();
     for (label, sweep) in &sweeps {
-        let mut row = vec![label.clone()];
         for proto in MULTIPATH_PROTOCOLS {
-            let sc = Scenario::new(
-                splitmix64(cfg.seed ^ splitmix64(0xB0B ^ label.len() as u64)),
-                vec![link1(sweep), LinkParams::paper_default()],
-                vec![
-                    ConnSpec::bulk(proto, vec![0, 1]),
-                    ConnSpec::bulk(single_path_peer(proto), vec![1]),
-                ],
-            )
-            .with_duration(duration, warmup);
-            let summary = run_seeds(&sc, cfg.runs());
+            scs.push(
+                Scenario::new(
+                    splitmix64(cfg.seed ^ splitmix64(0xB0B ^ label.len() as u64)),
+                    vec![link1(sweep), LinkParams::paper_default()],
+                    vec![
+                        ConnSpec::bulk(proto, vec![0, 1]),
+                        ConnSpec::bulk(single_path_peer(proto), vec![1]),
+                    ],
+                )
+                .with_duration(duration, warmup),
+            );
+        }
+    }
+    let mut summaries = run_seeds_batch(&cfg.exec, &scs, cfg.runs()).into_iter();
+    for (label, _) in &sweeps {
+        let mut row = vec![label.clone()];
+        for _ in MULTIPATH_PROTOCOLS {
+            let summary = summaries.next().expect("one summary set per scenario");
             row.push(f2(summary[1].mean));
         }
         fig.row(row);

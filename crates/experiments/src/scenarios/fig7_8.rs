@@ -9,7 +9,7 @@
 
 use crate::output::{f2, Figure};
 use crate::protocols::single_path_peer;
-use crate::runner::{run as run_scenario, ConnSpec, Scenario};
+use crate::runner::{ConnSpec, Scenario};
 use crate::ExpConfig;
 use mpcc::theory::{lmmf_allocation, ParallelNetSpec};
 use mpcc_netsim::link::LinkParams;
@@ -69,22 +69,27 @@ pub fn run_experiment(cfg: &ExpConfig) -> Vec<Figure> {
             .collect::<Vec<_>>()),
     );
 
-    // Per-protocol runs over the same schedule.
+    // Per-protocol runs over the same schedule, submitted as one batch.
+    let scs: Vec<Scenario> = PROTOCOLS
+        .iter()
+        .map(|proto| {
+            let mut sc = Scenario::new(
+                splitmix64(cfg.seed ^ splitmix64(0xF78)),
+                vec![LinkParams::paper_default(), LinkParams::paper_default()],
+                vec![
+                    ConnSpec::bulk(proto, vec![0, 1]),
+                    ConnSpec::bulk(single_path_peer(proto), vec![1]),
+                ],
+            )
+            .with_duration(total, SimDuration::from_secs(30))
+            .with_sampling(sample);
+            sc.link_changes = sched.iter().map(|&(t, p)| (t, 0, p)).collect();
+            sc
+        })
+        .collect();
     let mut sf_series: Vec<Vec<f64>> = Vec::new();
     let mut sp_series: Vec<Vec<f64>> = Vec::new();
-    for proto in PROTOCOLS {
-        let mut sc = Scenario::new(
-            splitmix64(cfg.seed ^ splitmix64(0xF78)),
-            vec![LinkParams::paper_default(), LinkParams::paper_default()],
-            vec![
-                ConnSpec::bulk(proto, vec![0, 1]),
-                ConnSpec::bulk(single_path_peer(proto), vec![1]),
-            ],
-        )
-        .with_duration(total, SimDuration::from_secs(30))
-        .with_sampling(sample);
-        sc.link_changes = sched.iter().map(|&(t, p)| (t, 0, p)).collect();
-        let result = run_scenario(&sc);
+    for result in cfg.exec.run_batch(scs) {
         sf_series.push(
             result.conns[0].subflow_series[0]
                 .points()

@@ -6,7 +6,7 @@
 
 use crate::output::{f2, Figure};
 use crate::protocols::MULTIPATH_PROTOCOLS;
-use crate::runner::{run as run_scenario, ConnSpec, Scenario};
+use crate::runner::{ConnSpec, Scenario};
 use crate::ExpConfig;
 use mpcc_netsim::link::LinkParams;
 use mpcc_simcore::rng::splitmix64;
@@ -32,21 +32,30 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
         "mean smoothed RTT (ms) vs bottleneck buffer, topology 3e (two multipath connections)",
         &col_refs,
     );
+    // One job per (buffer, protocol) pair, submitted as one batch.
+    let mut scs = Vec::new();
     for &buffer in &buffers {
-        let mut row = vec![format!("{}", buffer / 1000)];
         for proto in MULTIPATH_PROTOCOLS {
             let params = LinkParams::paper_default().with_buffer(buffer);
-            let sc = Scenario::new(
-                splitmix64(cfg.seed ^ splitmix64(0x919 ^ buffer)),
-                vec![params, params],
-                vec![
-                    ConnSpec::bulk(proto, vec![0, 1]),
-                    ConnSpec::bulk(proto, vec![0, 1]),
-                ],
-            )
-            .with_duration(duration, warmup)
-            .with_sampling(SimDuration::from_millis(100));
-            let result = run_scenario(&sc);
+            scs.push(
+                Scenario::new(
+                    splitmix64(cfg.seed ^ splitmix64(0x919 ^ buffer)),
+                    vec![params, params],
+                    vec![
+                        ConnSpec::bulk(proto, vec![0, 1]),
+                        ConnSpec::bulk(proto, vec![0, 1]),
+                    ],
+                )
+                .with_duration(duration, warmup)
+                .with_sampling(SimDuration::from_millis(100)),
+            );
+        }
+    }
+    let mut results = cfg.exec.run_batch(scs).into_iter();
+    for &buffer in &buffers {
+        let mut row = vec![format!("{}", buffer / 1000)];
+        for _ in MULTIPATH_PROTOCOLS {
+            let result = results.next().expect("one result per scenario");
             // Average the smoothed RTT samples across both connections'
             // subflows, past warmup (the paper's `ss` sampling).
             let mut sum = 0.0;

@@ -42,7 +42,8 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
             SchedulerKind::RateBased { threshold: 0.50 },
         ),
     ];
-    for (name, kind) in schedulers {
+    // Each scheduler variant is an independent run: fan out via the pool.
+    let goodputs = cfg.exec.map(schedulers, |(name, kind)| {
         let mut sc = Scenario::new(
             splitmix64(cfg.seed ^ 0x5C4ED),
             links.clone(),
@@ -51,8 +52,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
         .with_duration(duration, warmup);
         // Override the factory's scheduler choice.
         sc.conns[0].proto = "bbr".into();
-        let result = run_with_scheduler(&sc, kind);
-        fig.row(vec![name, f2(result)]);
+        (name, run_with_scheduler(&sc, kind))
+    });
+    for (name, goodput) in goodputs {
+        fig.row(vec![name, f2(goodput)]);
     }
     fig.note("paper §6: default scheduler 148.2 Mbps → rate-based scheduler 179.4 Mbps");
     vec![fig]

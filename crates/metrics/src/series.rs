@@ -59,6 +59,22 @@ impl RateSeries {
         }
     }
 
+    /// Mean rate over points with `from < t <= to` — for isolating one
+    /// phase of a run (e.g. goodput before a scheduled link change).
+    pub fn mean_between(&self, from: SimTime, to: SimTime) -> f64 {
+        let pts: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| p.t > from && p.t <= to)
+            .map(|p| p.mbps)
+            .collect();
+        if pts.is_empty() {
+            0.0
+        } else {
+            pts.iter().sum::<f64>() / pts.len() as f64
+        }
+    }
+
     /// Rate jitter: mean absolute difference between consecutive samples
     /// (the §7.2.5 comparison), over points with `t > from`.
     pub fn jitter_after(&self, from: SimTime) -> f64 {
@@ -118,6 +134,22 @@ mod tests {
             s.push_cumulative(t(i * 1000), i * 1_250_000);
         }
         assert!((s.mean_after(t(3000)) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_between_isolates_a_window() {
+        let mut s = RateSeries::new();
+        s.push_cumulative(t(0), 0);
+        let mut total = 0u64;
+        for i in 1..=10u64 {
+            // 10 Mbps for 5 samples, then 20 Mbps.
+            total += if i <= 5 { 1_250_000 } else { 2_500_000 };
+            s.push_cumulative(t(i * 1000), total);
+        }
+        assert!((s.mean_between(t(0), t(5000)) - 10.0).abs() < 1e-9);
+        assert!((s.mean_between(t(5000), t(10_000)) - 20.0).abs() < 1e-9);
+        // Empty window.
+        assert_eq!(s.mean_between(t(20_000), t(30_000)), 0.0);
     }
 
     #[test]

@@ -162,6 +162,18 @@ pub struct Tracer {
     inner: Option<Arc<TracerInner>>,
 }
 
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => f
+                .debug_struct("Tracer")
+                .field("mask", &inner.mask)
+                .finish_non_exhaustive(),
+            None => f.write_str("Tracer(off)"),
+        }
+    }
+}
+
 impl Tracer {
     /// A disabled tracer (records nothing, costs one branch per emit).
     pub fn off() -> Self {

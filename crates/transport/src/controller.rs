@@ -122,9 +122,17 @@ pub trait MultipathCc: Send {
     }
 
     /// Called at each monitor-interval boundary; returns the sending rate
-    /// for the new interval. Only called when [`MultipathCc::uses_mi`].
+    /// for the new interval. Only called when [`MultipathCc::uses_mi`];
+    /// MI-driven controllers must override this. The default flags the
+    /// mis-wiring in debug builds and degrades to a conservative fallback
+    /// rate in release builds rather than panicking mid-experiment.
     fn begin_mi(&mut self, _subflow: usize, _now: SimTime) -> Rate {
-        unimplemented!("begin_mi on a controller without monitor intervals")
+        debug_assert!(
+            !self.uses_mi(),
+            "{}: uses_mi() is true but begin_mi is not overridden",
+            self.name()
+        );
+        Rate::from_mbps(1.0)
     }
 
     /// Chooses the duration of the next monitor interval given the current
@@ -221,6 +229,18 @@ mod tests {
         let cc = WindowOnly(125_000); // 125 KB over 100 ms = 10 Mbps
         let r = cc.rate_estimate(0, SimDuration::from_millis(100));
         assert!((r.mbps() - 10.0).abs() < 1e-9, "{r:?}");
+    }
+
+    #[test]
+    fn default_begin_mi_degrades_without_panicking() {
+        // A controller that (correctly) reports uses_mi() == false but is
+        // nevertheless asked for a monitor-interval rate — e.g. by a
+        // mis-wired harness — must not abort the whole experiment. The
+        // pre-fix default body was `unimplemented!()`.
+        let mut cc = WindowOnly(10_000);
+        assert!(!cc.uses_mi());
+        let r = cc.begin_mi(0, SimTime::ZERO);
+        assert_eq!(r, Rate::from_mbps(1.0));
     }
 
     #[test]

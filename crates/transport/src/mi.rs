@@ -321,6 +321,76 @@ mod tests {
     }
 
     #[test]
+    fn out_of_interval_acks_and_losses_are_ignored() {
+        let mut t = MiTracker::new();
+        // First tracked interval starts at seq 100 — seqs below it were
+        // sent before MI tracking began (e.g. during slow start).
+        t.begin(Rate::from_mbps(10.0), SimTime::ZERO, 100);
+        for seq in 100..105 {
+            t.on_sent(seq);
+        }
+        t.begin(Rate::from_mbps(10.0), SimTime::from_millis(100), 105);
+        // Late feedback for untracked pre-MI packets must not be
+        // attributed to any interval.
+        t.on_acked(
+            99,
+            SimTime::from_millis(1),
+            SimDuration::from_millis(50),
+            1448,
+        );
+        t.on_lost(50);
+        // The closed interval still needs all 5 of its own packets.
+        assert!(t.poll_completed(0, SimTime::from_millis(150)).is_empty());
+        for seq in 100..105 {
+            t.on_acked(
+                seq,
+                SimTime::from_millis(10),
+                SimDuration::from_millis(50),
+                1448,
+            );
+        }
+        let reports = t.poll_completed(0, SimTime::from_millis(200));
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].acked_packets, 5);
+        assert_eq!(reports[0].lost_packets, 0);
+        assert_eq!(reports[0].acked_bytes, 5 * 1448);
+    }
+
+    #[test]
+    fn empty_app_limited_mi_between_resolved_intervals_keeps_order() {
+        let mut t = MiTracker::new();
+        // MI 0: one packet (seqs 0..1).
+        t.begin(Rate::from_mbps(1.0), SimTime::ZERO, 0);
+        t.on_sent(0);
+        // MI 1: app-limited, sends nothing (seqs 1..1).
+        t.begin(Rate::from_mbps(2.0), SimTime::from_millis(10), 1);
+        t.mark_app_limited();
+        // MI 2: one packet (seqs 1..2).
+        t.begin(Rate::from_mbps(3.0), SimTime::from_millis(20), 1);
+        t.on_sent(1);
+        t.begin(Rate::from_mbps(4.0), SimTime::from_millis(30), 2);
+        // Resolve MI 2 first: the empty MI 1 is resolved by construction,
+        // but neither may report while MI 0 is still outstanding.
+        t.on_acked(
+            1,
+            SimTime::from_millis(20),
+            SimDuration::from_millis(5),
+            1448,
+        );
+        assert!(t.poll_completed(0, SimTime::from_millis(40)).is_empty());
+        // Resolving MI 0 releases all three, in interval order.
+        t.on_acked(0, SimTime::ZERO, SimDuration::from_millis(5), 1448);
+        let reports = t.poll_completed(0, SimTime::from_millis(50));
+        assert_eq!(reports.len(), 3);
+        assert!((reports[0].rate.mbps() - 1.0).abs() < 1e-9);
+        assert!((reports[1].rate.mbps() - 2.0).abs() < 1e-9);
+        assert!((reports[2].rate.mbps() - 3.0).abs() < 1e-9);
+        assert!(reports[1].app_limited);
+        assert_eq!(reports[1].sent_packets, 0);
+        assert!(!reports[0].app_limited && !reports[2].app_limited);
+    }
+
+    #[test]
     fn empty_mi_resolves_immediately() {
         let mut t = MiTracker::new();
         t.begin(Rate::from_mbps(1.0), SimTime::ZERO, 0);

@@ -101,10 +101,18 @@ impl RttEstimator {
         self.latest
     }
 
-    /// Minimum RTT within the last [`MIN_RTT_WINDOW`].
-    pub fn min_rtt(&self) -> SimDuration {
+    /// Minimum RTT within the last [`MIN_RTT_WINDOW`], as of `now`.
+    ///
+    /// The deque is only pruned when samples arrive, so after an ACK gap
+    /// (e.g. post-RTO idle) its front may have left the window long ago;
+    /// expired entries are skipped at read time. The deque's timestamps
+    /// are monotonically increasing, so the first live entry is the
+    /// windowed minimum. Falls back to the latest sample when every
+    /// entry (or the whole history) has expired.
+    pub fn min_rtt(&self, now: SimTime) -> SimDuration {
         self.min_window
-            .front()
+            .iter()
+            .find(|&&(t, _)| now.saturating_since(t) <= MIN_RTT_WINDOW)
             .map(|&(_, r)| r)
             .unwrap_or(self.latest)
     }
@@ -144,7 +152,7 @@ mod tests {
         assert!(!e.has_sample());
         e.on_sample(ms(60), SimTime::from_millis(60));
         assert_eq!(e.srtt_or(ms(1)), ms(60));
-        assert_eq!(e.min_rtt(), ms(60));
+        assert_eq!(e.min_rtt(SimTime::from_millis(60)), ms(60));
         // rto = 60 + 4*30 = 180 -> clamped up to MIN_RTO? 180 < 200.
         assert_eq!(e.rto(), MIN_RTO);
     }
@@ -166,12 +174,27 @@ mod tests {
         let mut e = RttEstimator::new();
         e.on_sample(ms(10), SimTime::from_secs(1));
         e.on_sample(ms(50), SimTime::from_secs(2));
-        assert_eq!(e.min_rtt(), ms(10));
+        assert_eq!(e.min_rtt(SimTime::from_secs(2)), ms(10));
         // 20 s later the 10 ms sample has left the window.
         e.on_sample(ms(40), SimTime::from_secs(22));
-        assert_eq!(e.min_rtt(), ms(40));
+        assert_eq!(e.min_rtt(SimTime::from_secs(22)), ms(40));
         // but min_ever remembers it.
         assert_eq!(e.min_ever(), ms(10));
+    }
+
+    #[test]
+    fn min_rtt_expires_at_read_time_without_new_samples() {
+        let mut e = RttEstimator::new();
+        e.on_sample(ms(10), SimTime::from_secs(1));
+        e.on_sample(ms(50), SimTime::from_secs(8));
+        // Queried within the window, the 10 ms sample is the minimum.
+        assert_eq!(e.min_rtt(SimTime::from_secs(9)), ms(10));
+        // After an ACK gap (no pruning via on_sample), a query at 15 s must
+        // not report the 10 ms sample taken at 1 s — it left the 10 s
+        // window at 11 s. The 50 ms sample (8 s) is still live.
+        assert_eq!(e.min_rtt(SimTime::from_secs(15)), ms(50));
+        // Once everything has expired, fall back to the latest sample.
+        assert_eq!(e.min_rtt(SimTime::from_secs(60)), ms(50));
     }
 
     #[test]

@@ -92,9 +92,8 @@ fn threshold_available(threshold: f64, view: &SubflowView, chunk_len: u64) -> bo
     // "Unavailable once ≥ threshold of one RTT's worth of packets is
     // queued." Always permit at least two staged chunks so slow subflows
     // are not starved entirely.
-    let limit = (threshold * view.rate.bytes_in(view.srtt)) as u64;
-    let limit = limit.max(chunk_len);
-    view.staged_bytes + chunk_len <= limit.max(2 * chunk_len)
+    let limit = ((threshold * view.rate.bytes_in(view.srtt)) as u64).max(2 * chunk_len);
+    view.staged_bytes + chunk_len <= limit
 }
 
 /// Decides where the next `chunk_len`-byte chunk goes.

@@ -27,16 +27,37 @@ const K_RTO: u64 = 3;
 const K_START: u64 = 4;
 const K_APP: u64 = 5;
 
+/// Timer-token field layout: bits 63–60 kind, 59–48 subflow, 47–0 epoch.
+const SF_MASK: u64 = 0xFFF;
+const EPOCH_MASK: u64 = 0xFFFF_FFFF_FFFF;
+
 fn token(kind: u64, sf: usize, epoch: u64) -> u64 {
-    (kind << 60) | ((sf as u64 & 0xFFF) << 48) | (epoch & 0xFFFF_FFFF_FFFF)
+    debug_assert!(kind <= 0xF, "timer kind {kind} overflows its 4-bit field");
+    debug_assert!(
+        sf as u64 <= SF_MASK,
+        "subflow index {sf} overflows the 12-bit token field"
+    );
+    // The epoch is a monotonic counter that can legitimately pass 2^48 on
+    // very long runs; it truncates here, and every consumer compares the
+    // token against its live counter through `epoch_matches` (masking both
+    // sides), so truncation cannot strand a live timer.
+    (kind << 60) | ((sf as u64 & SF_MASK) << 48) | (epoch & EPOCH_MASK)
 }
 
 fn untoken(token: u64) -> (u64, usize, u64) {
     (
         token >> 60,
-        ((token >> 48) & 0xFFF) as usize,
-        token & 0xFFFF_FFFF_FFFF,
+        ((token >> 48) & SF_MASK) as usize,
+        token & EPOCH_MASK,
     )
+}
+
+/// `true` when a token's (truncated) epoch refers to the live counter
+/// value `current`. Both sides must be masked: comparing a truncated token
+/// against an untruncated counter would declare every timer stale once the
+/// counter crosses the 48-bit boundary.
+fn epoch_matches(token_epoch: u64, current: u64) -> bool {
+    token_epoch == current & EPOCH_MASK
 }
 
 /// Static configuration of a multipath sender.
@@ -142,9 +163,10 @@ impl MpSender {
         self.cfg.paths.len()
     }
 
-    /// Statistics snapshot of subflow `i`.
-    pub fn subflow_stats(&self, i: usize) -> SubflowStats {
-        self.subflows[i].stats()
+    /// Statistics snapshot of subflow `i` as of `now` (time-windowed
+    /// quantities such as the minimum RTT are pruned against it).
+    pub fn subflow_stats(&self, i: usize, now: SimTime) -> SubflowStats {
+        self.subflows[i].stats(now)
     }
 
     /// In-order bytes the receiver has confirmed delivered.
@@ -375,7 +397,7 @@ impl MpSender {
     fn on_pace(&mut self, sf: usize, epoch: u64, ctx: &mut Ctx<'_>) {
         {
             let subflow = &mut self.subflows[sf];
-            if epoch != subflow.pacer_epoch {
+            if !epoch_matches(epoch, subflow.pacer_epoch) {
                 return; // stale timer
             }
             subflow.pacer_armed = false;
@@ -534,7 +556,7 @@ impl MpSender {
                     .rtt_sample
                     .unwrap_or_else(|| self.subflows[sf].rtt.latest()),
                 srtt: self.subflows[sf].srtt(),
-                min_rtt: self.subflows[sf].rtt.min_rtt(),
+                min_rtt: self.subflows[sf].rtt.min_rtt(now),
                 bw_sample: bw,
                 inflight_bytes: self.subflows[sf].scoreboard.inflight_bytes(),
             };
@@ -600,7 +622,8 @@ impl Endpoint for MpSender {
                     return;
                 }
                 // Stale if a different MI is already running.
-                if self.subflows[sf].mi.current_id() != Some(epoch) {
+                let current = self.subflows[sf].mi.current_id();
+                if current.is_none_or(|id| !epoch_matches(epoch, id)) {
                     return;
                 }
                 self.begin_mi(sf, ctx);
@@ -623,5 +646,43 @@ impl Endpoint for MpSender {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_round_trips_at_field_boundaries() {
+        for kind in [K_PACE, K_MI, K_RTO, K_START, K_APP] {
+            for sf in [0usize, 1, SF_MASK as usize] {
+                for epoch in [0u64, 1, EPOCH_MASK] {
+                    assert_eq!(untoken(token(kind, sf, epoch)), (kind, sf, epoch));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_comparison_masks_both_sides() {
+        // Live counters just past the 48-bit boundary: the token epoch
+        // truncates, so the pre-fix comparison (`token epoch == untruncated
+        // counter`) treated every such timer as stale and silently dropped
+        // all MI/pace timers from then on.
+        for live in [EPOCH_MASK + 1, EPOCH_MASK + 2, (EPOCH_MASK << 1) | 0x5] {
+            let (kind, sf, tok_epoch) = untoken(token(K_PACE, 3, live));
+            assert_eq!((kind, sf), (K_PACE, 3));
+            assert_eq!(tok_epoch, live & EPOCH_MASK);
+            assert!(
+                epoch_matches(tok_epoch, live),
+                "timer for live epoch {live:#x} must not be declared stale"
+            );
+        }
+        // Genuinely stale epochs still mismatch.
+        assert!(!epoch_matches(token(K_PACE, 0, 41) & EPOCH_MASK, 42));
+        // ... including across the boundary (a 1-in-2^48 wrap alias is the
+        // accepted residual risk).
+        assert!(!epoch_matches(5, EPOCH_MASK + 7));
     }
 }

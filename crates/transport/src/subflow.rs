@@ -135,8 +135,9 @@ pub struct SubflowStats {
 }
 
 impl Subflow {
-    /// Takes a statistics snapshot.
-    pub fn stats(&self) -> SubflowStats {
+    /// Takes a statistics snapshot as of `now` (the windowed minimum RTT
+    /// is pruned against the reference time).
+    pub fn stats(&self, now: SimTime) -> SubflowStats {
         SubflowStats {
             delivered_bytes: self.scoreboard.delivered_bytes(),
             sent_packets: self.sent_packets,
@@ -144,7 +145,7 @@ impl Subflow {
             lost_packets: self.scoreboard.total_lost_packets(),
             acked_packets: self.scoreboard.total_acked_packets(),
             srtt: self.srtt(),
-            min_rtt: self.rtt.min_rtt(),
+            min_rtt: self.rtt.min_rtt(now),
             latest_rtt: self.rtt.latest(),
             pacing_rate: self.pacing_rate,
             inflight_bytes: self.scoreboard.inflight_bytes(),

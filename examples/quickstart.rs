@@ -35,8 +35,10 @@ fn main() {
         "t", "goodput", "subflow 1", "subflow 2"
     );
     let mut last_acked = 0;
+    let mut now = SimTime::ZERO;
     for sec in 1..=30u64 {
-        sim.run_until(SimTime::from_secs(sec));
+        now = SimTime::from_secs(sec);
+        sim.run_until(now);
         let s = sim.endpoint::<MpSender>(sender);
         let acked = s.data_acked();
         let goodput = (acked - last_acked) as f64 * 8.0 / 1e6;
@@ -45,16 +47,16 @@ fn main() {
             "{:>3}s  {:>8.1} Mb/s  {:>7.1} Mb/s  {:>7.1} Mb/s",
             sec,
             goodput,
-            s.subflow_stats(0).pacing_rate.mbps(),
-            s.subflow_stats(1).pacing_rate.mbps(),
+            s.subflow_stats(0, now).pacing_rate.mbps(),
+            s.subflow_stats(1, now).pacing_rate.mbps(),
         );
     }
     let s = sim.endpoint::<MpSender>(sender);
     println!(
         "\ntotals: {:.1} MB delivered, {} packets lost, srtt {:.1} / {:.1} ms",
         s.data_acked() as f64 / 1e6,
-        s.subflow_stats(0).lost_packets + s.subflow_stats(1).lost_packets,
-        s.subflow_stats(0).srtt.as_millis_f64(),
-        s.subflow_stats(1).srtt.as_millis_f64(),
+        s.subflow_stats(0, now).lost_packets + s.subflow_stats(1, now).lost_packets,
+        s.subflow_stats(0, now).srtt.as_millis_f64(),
+        s.subflow_stats(1, now).srtt.as_millis_f64(),
     );
 }

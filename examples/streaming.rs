@@ -67,11 +67,12 @@ fn main() {
     );
     let mut last = (0u64, 0u64, 0u64);
     for sec in (5..=60u64).step_by(5) {
-        sim.run_until(SimTime::from_secs(sec));
+        let now = SimTime::from_secs(sec);
+        sim.run_until(now);
         let s = sim.endpoint::<MpSender>(sender);
         let acked = s.data_acked();
-        let wifi_b = s.subflow_stats(0).delivered_bytes;
-        let lte_b = s.subflow_stats(1).delivered_bytes;
+        let wifi_b = s.subflow_stats(0, now).delivered_bytes;
+        let lte_b = s.subflow_stats(1, now).delivered_bytes;
         // Backlog: released but not yet delivered (stream falling behind).
         let released = 750_000 * sec;
         println!(

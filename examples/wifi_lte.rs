@@ -49,11 +49,12 @@ fn download(proto: &str) -> (f64, f64, f64) {
         peer_buffer: 300_000_000,
     };
     let sender = sim.add_endpoint(Box::new(MpSender::new(config, cc)));
-    sim.run_until(SimTime::from_secs(300));
+    let end = SimTime::from_secs(300);
+    sim.run_until(end);
     let s = sim.endpoint::<MpSender>(sender);
     let fct = s.fct().map(|d| d.as_secs_f64()).unwrap_or(f64::NAN);
-    let wifi_mb = s.subflow_stats(0).delivered_bytes as f64 / 1e6;
-    let lte_mb = s.subflow_stats(1).delivered_bytes as f64 / 1e6;
+    let wifi_mb = s.subflow_stats(0, end).delivered_bytes as f64 / 1e6;
+    let lte_mb = s.subflow_stats(1, end).delivered_bytes as f64 / 1e6;
     (fct, wifi_mb, lte_mb)
 }
 

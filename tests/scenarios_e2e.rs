@@ -27,12 +27,13 @@ fn two_link_bulk(
     let recv = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
     let cfg = SenderConfig::bulk(recv, vec![p0, p1]).with_scheduler(scheduler);
     let sender = sim.add_endpoint(Box::new(MpSender::new(cfg, cc)));
-    sim.run_until(SimTime::from_secs(secs));
+    let end = SimTime::from_secs(secs);
+    sim.run_until(end);
     let s = sim.endpoint::<MpSender>(sender);
     (
         s.data_acked() as f64 * 8.0 / secs as f64 / 1e6,
-        s.subflow_stats(0).sent_packets,
-        s.subflow_stats(1).sent_packets,
+        s.subflow_stats(0, end).sent_packets,
+        s.subflow_stats(1, end).sent_packets,
     )
 }
 

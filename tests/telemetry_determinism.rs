@@ -76,18 +76,19 @@ fn run(seed: u64, tracer: Tracer) -> Outcome {
     };
     let cc = Box::new(Mpcc::new(MpccConfig::loss().with_seed(seed)));
     let sender = sim.add_endpoint(Box::new(MpSender::new(cfg, cc)));
-    sim.run_until(SimTime::from_secs(12));
+    let end = SimTime::from_secs(12);
+    sim.run_until(end);
     let s = sim.endpoint::<MpSender>(sender);
     Outcome {
         data_acked: s.data_acked(),
         sent_packets: (0..s.num_subflows())
-            .map(|i| s.subflow_stats(i).sent_packets)
+            .map(|i| s.subflow_stats(i, end).sent_packets)
             .sum(),
         lost_packets: (0..s.num_subflows())
-            .map(|i| s.subflow_stats(i).lost_packets)
+            .map(|i| s.subflow_stats(i, end).lost_packets)
             .sum(),
         srtt_ns: (0..s.num_subflows())
-            .map(|i| s.subflow_stats(i).srtt.as_nanos())
+            .map(|i| s.subflow_stats(i, end).srtt.as_nanos())
             .collect(),
     }
 }

@@ -94,7 +94,8 @@ fn run_traced(
         peer_buffer: 300_000_000,
     };
     let sender = sim.add_endpoint(Box::new(MpSender::new(cfg, cc)));
-    sim.run_until(SimTime::from_secs(secs));
+    let end = SimTime::from_secs(secs);
+    sim.run_until(end);
     let s = sim.endpoint::<MpSender>(sender);
     let r = sim.endpoint::<MpReceiver>(recv);
     Outcome {
@@ -102,10 +103,10 @@ fn run_traced(
         receiver: r.stats(),
         fct: s.fct().map(|d| d.as_secs_f64()),
         sent_packets: (0..s.num_subflows())
-            .map(|i| s.subflow_stats(i).sent_packets)
+            .map(|i| s.subflow_stats(i, end).sent_packets)
             .sum(),
         lost_packets: (0..s.num_subflows())
-            .map(|i| s.subflow_stats(i).lost_packets)
+            .map(|i| s.subflow_stats(i, end).lost_packets)
             .sum(),
     }
 }
