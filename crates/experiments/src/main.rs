@@ -1,10 +1,12 @@
 //! The experiments binary: `experiments <id>... [--full] [--seed N]
 //! [--runs N] [--jobs N] [--out DIR] [--trace FILE]
-//! [--trace-filter LAYERS]`, or `experiments all` / `experiments list`.
+//! [--trace-filter LAYERS] [--faults SPEC]`, or `experiments all` /
+//! `experiments list`.
 
 use mpcc_experiments::runner::{Executor, TraceConfig};
 use mpcc_experiments::scenarios::{self, ALL};
 use mpcc_experiments::ExpConfig;
+use mpcc_netsim::fault::FaultPlan;
 use mpcc_telemetry::LayerMask;
 use std::time::Instant;
 
@@ -14,6 +16,7 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
     let mut trace_mask = LayerMask::ALL;
+    let mut faults = FaultPlan::NONE;
     let mut jobs: usize = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -53,6 +56,13 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--faults" => {
+                let spec = it.next().expect("--faults needs a spec");
+                faults = FaultPlan::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("--faults: {e}");
+                    std::process::exit(2);
+                });
+            }
             "list" => {
                 println!("available experiments: {}", ALL.join(" "));
                 return;
@@ -64,7 +74,8 @@ fn main() {
     if ids.is_empty() {
         eprintln!(
             "usage: experiments <id>... | all | list  [--full] [--seed N] [--runs N] [--jobs N] \
-             [--out DIR] [--trace FILE] [--trace-filter controller,transport,link]"
+             [--out DIR] [--trace FILE] [--trace-filter controller,transport,link] \
+             [--faults 'reorder:p=0.05,extra=20ms;outage:at=5s,down=1s']"
         );
         eprintln!("ids: {}", ALL.join(" "));
         std::process::exit(2);
@@ -74,7 +85,7 @@ fn main() {
         path: p.into(),
         mask: trace_mask,
     });
-    cfg.exec = Executor::new(jobs, trace);
+    cfg.exec = Executor::new(jobs, trace).with_faults(faults);
     for id in ids {
         let start = Instant::now();
         eprintln!(

@@ -11,12 +11,13 @@
 
 use crate::protocols;
 use mpcc_metrics::{RateSeries, Summary};
+use mpcc_netsim::fault::FaultPlan;
 use mpcc_netsim::link::{LinkParams, LinkStats};
 use mpcc_netsim::topology::parallel_links;
 use mpcc_netsim::EndpointId;
 use mpcc_simcore::{rng::splitmix64, SimDuration, SimTime};
 use mpcc_telemetry::{CsvSink, JsonlSink, LayerMask, Record, TraceSink, Tracer};
-use mpcc_transport::{MpReceiver, MpSender, SenderConfig, Workload};
+use mpcc_transport::{MpReceiver, MpSender, ReceiverStats, SenderConfig, Workload};
 use std::collections::VecDeque;
 use std::io::{self, Write as _};
 use std::path::PathBuf;
@@ -74,6 +75,9 @@ impl TraceConfig {
 struct ExecInner {
     jobs: usize,
     trace: Option<TraceConfig>,
+    /// Fault plan overlaid on every link of every submitted scenario
+    /// (the CLI's global `--faults` spec).
+    faults: Option<FaultPlan>,
     /// Monotonic run-id counter, shared by every clone of the executor so
     /// per-run trace files never collide across batches.
     next_run_id: AtomicU64,
@@ -95,6 +99,7 @@ impl fmt::Debug for Executor {
         f.debug_struct("Executor")
             .field("jobs", &self.inner.jobs)
             .field("trace", &self.inner.trace)
+            .field("faults", &self.inner.faults)
             .finish_non_exhaustive()
     }
 }
@@ -127,7 +132,24 @@ impl Executor {
             inner: Arc::new(ExecInner {
                 jobs: jobs.max(1),
                 trace,
+                faults: None,
                 next_run_id: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Returns an executor that overlays `faults` on every link of every
+    /// scenario it runs (including links swapped in by scheduled changes).
+    /// Knobs the scenario already sets win only if the overlay leaves them
+    /// unset — see [`FaultPlan::overlay`].
+    pub fn with_faults(self, faults: FaultPlan) -> Self {
+        let inner = &self.inner;
+        Executor {
+            inner: Arc::new(ExecInner {
+                jobs: inner.jobs,
+                trace: inner.trace.clone(),
+                faults: if faults.is_none() { None } else { Some(faults) },
+                next_run_id: AtomicU64::new(inner.next_run_id.load(Ordering::Relaxed)),
             }),
         }
     }
@@ -194,6 +216,14 @@ impl Executor {
                     sc.tracer = tc
                         .make_tracer(id)
                         .unwrap_or_else(|e| panic!("cannot create per-run trace file: {e}"));
+                }
+                if let Some(fp) = self.inner.faults {
+                    for link in &mut sc.links {
+                        link.faults = link.faults.overlay(fp);
+                    }
+                    for (_, _, params) in &mut sc.link_changes {
+                        params.faults = params.faults.overlay(fp);
+                    }
                 }
                 sc.run_id = id;
                 sc
@@ -342,6 +372,10 @@ pub struct ConnResult {
     pub lost_packets: u64,
     /// Total packets sent across subflows.
     pub sent_packets: u64,
+    /// Connection-level bytes acknowledged at the sender.
+    pub data_acked: u64,
+    /// The receiver's final statistics (delivery frontier, duplicates).
+    pub receiver: ReceiverStats,
 }
 
 /// Outcome of a scenario run.
@@ -391,8 +425,10 @@ pub fn run(sc: &Scenario) -> RunResult {
     }
 
     let mut senders: Vec<EndpointId> = Vec::new();
+    let mut receivers: Vec<EndpointId> = Vec::new();
     for (i, conn) in sc.conns.iter().enumerate() {
         let recv = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
+        receivers.push(recv);
         let cc = protocols::make(
             &conn.proto,
             splitmix64(sc.seed ^ splitmix64(0xC0FFEE + i as u64)),
@@ -450,6 +486,9 @@ pub fn run(sc: &Scenario) -> RunResult {
             lost += s.lost_packets;
             sent += s.sent_packets;
         }
+        let data_acked = sender.data_acked();
+        let receiver = sim.endpoint::<MpReceiver>(receivers[i]).stats();
+        let sender = sim.endpoint::<MpSender>(senders[i]);
         conns.push(ConnResult {
             proto: spec.proto.clone(),
             goodput_mbps: series[i].mean_after(warm),
@@ -459,6 +498,8 @@ pub fn run(sc: &Scenario) -> RunResult {
             fct: sender.fct().map(|d| d.as_secs_f64()),
             lost_packets: lost,
             sent_packets: sent,
+            data_acked,
+            receiver,
         });
     }
     let total = conns.iter().map(|c| c.goodput_mbps).sum();
@@ -588,6 +629,46 @@ mod tests {
         assert!(early > 50.0, "early {early}");
         assert!(late < 15.0, "late {late}");
         assert!(early > 3.0 * late, "early {early} vs late {late}");
+    }
+
+    #[test]
+    fn link_change_mid_outage_does_not_resurrect_packets() {
+        use mpcc_netsim::fault::OutageSchedule;
+        // A 5–10 s outage black-holes path 0; at 7 s a capacity change
+        // lands on the same link (carrying the same fault plan, as the
+        // executor overlay does). The change must not leak any packet out
+        // of the black-hole window: goodput stays ~zero until the window
+        // closes, and recovers afterwards.
+        let faults = FaultPlan::NONE.with_outage(OutageSchedule::once(
+            SimTime::from_secs(5),
+            SimDuration::from_secs(5),
+        ));
+        let base = LinkParams::paper_default()
+            .with_capacity(Rate::from_mbps(20.0))
+            .with_faults(faults);
+        let mut sc = Scenario::new(11, vec![base], vec![ConnSpec::bulk("reno", vec![0])])
+            .with_duration(SimDuration::from_secs(25), SimDuration::from_secs(1));
+        sc.link_changes.push((
+            SimTime::from_secs(7),
+            0,
+            base.with_capacity(Rate::from_mbps(100.0))
+                .with_faults(faults),
+        ));
+        let result = run(&sc);
+        let series = &result.conns[0].series;
+        let before = series.mean_between(SimTime::from_secs(1), SimTime::from_secs(5));
+        let during = series.mean_between(SimTime::from_secs(6), SimTime::from_secs(10));
+        let after = series.mean_after(SimTime::from_secs(14));
+        assert!(before > 10.0, "before {before}");
+        assert!(
+            during < 1.0,
+            "packets leaked through a black-holed window after set_params: {during} Mbps"
+        );
+        assert!(after > 10.0, "after {after}");
+        assert!(
+            result.links[0].dropped_outage > 0,
+            "outage must actually have black-holed packets"
+        );
     }
 
     /// A small, fast scenario for the executor tests.

@@ -14,6 +14,7 @@ use crate::output::{f3, Figure};
 use crate::runner::{ConnSpec, RunResult, Scenario};
 use crate::ExpConfig;
 use mpcc_metrics::Summary;
+use mpcc_netsim::fault::FaultPlan;
 use mpcc_netsim::link::LinkParams;
 use mpcc_simcore::rng::splitmix64;
 use mpcc_simcore::{Rate, SimDuration};
@@ -30,6 +31,7 @@ fn link_options() -> Vec<LinkParams> {
                         delay: SimDuration::from_millis(lat_ms),
                         buffer: buf_kb * 1000,
                         random_loss: loss,
+                        faults: FaultPlan::NONE,
                     });
                 }
             }

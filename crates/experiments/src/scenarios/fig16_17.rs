@@ -13,6 +13,7 @@
 use crate::output::{f2, Figure};
 use crate::runner::{ConnSpec, Scenario};
 use crate::ExpConfig;
+use mpcc_netsim::fault::FaultPlan;
 use mpcc_netsim::link::LinkParams;
 use mpcc_simcore::rng::splitmix64;
 use mpcc_simcore::{Rate, SimDuration, SimTime};
@@ -60,6 +61,7 @@ fn wifi_path(rtt_ms: u64) -> LinkParams {
         delay: SimDuration::from_millis(rtt_ms / 2 + 3),
         buffer: 120_000,
         random_loss: 0.003,
+        faults: FaultPlan::NONE,
     }
 }
 
@@ -71,6 +73,7 @@ fn lte_path(rtt_ms: u64) -> LinkParams {
         delay: SimDuration::from_millis(rtt_ms / 2 + 40),
         buffer: 600_000,
         random_loss: 0.008,
+        faults: FaultPlan::NONE,
     }
 }
 

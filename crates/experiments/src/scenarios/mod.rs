@@ -12,16 +12,17 @@ pub mod fig2;
 pub mod fig5_6;
 pub mod fig7_8;
 pub mod fig9;
+pub mod handover;
 pub mod sched;
 
 use crate::output::Figure;
 use crate::ExpConfig;
 
-/// All experiment ids, in paper order (plus the §6 scheduler experiment
-/// and the design-choice ablations).
-pub const ALL: [&str; 18] = [
+/// All experiment ids, in paper order (plus the §6 scheduler experiment,
+/// the design-choice ablations, and the fault-injection handover study).
+pub const ALL: [&str; 19] = [
     "fig2", "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "fig13", "fig14", "fig15", "fig16", "fig19", "sched", "ablation",
+    "fig13", "fig14", "fig15", "fig16", "fig19", "sched", "ablation", "handover",
 ];
 
 /// Dispatches one experiment id; returns the produced figures.
@@ -44,6 +45,7 @@ pub fn dispatch(id: &str, cfg: &ExpConfig) -> Vec<Figure> {
         "fig19" => fig19::run(cfg),
         "sched" => sched::run(cfg),
         "ablation" => ablation::run(cfg),
+        "handover" => handover::run(cfg),
         other => panic!("unknown experiment id {other:?} (see `experiments list`)"),
     }
 }

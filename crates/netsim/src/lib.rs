@@ -4,8 +4,10 @@
 //! MPCC paper's Emulab/testbed evaluation controls: droptail links with
 //! configurable capacity, propagation delay, buffer size and random
 //! (non-congestion) loss; scheduled mid-run parameter changes; path-based
-//! routing; and topology builders for every network in the paper's Fig. 3,
-//! Fig. 4 and Fig. 18.
+//! routing; topology builders for every network in the paper's Fig. 3,
+//! Fig. 4 and Fig. 18; and deterministic per-link fault injection
+//! (reordering, duplication, Gilbert–Elliott burst loss, scheduled
+//! outages — see [`fault`]) for adversarial soak testing.
 //!
 //! Transport endpoints plug in via the [`Endpoint`] trait and interact with
 //! the network only through [`Ctx`] (send on a path, set a timer, draw
@@ -13,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod ids;
 pub mod link;
 pub mod network;
@@ -20,8 +23,9 @@ pub mod packet;
 pub mod topology;
 pub mod trace;
 
+pub use fault::{BurstLoss, DuplicateFault, FaultPlan, OutageSchedule, ReorderFault};
 pub use ids::{EndpointId, LinkId, PathId};
-pub use link::{Admission, DropKind, Link, LinkParams, LinkStats};
+pub use link::{Admission, DropKind, Link, LinkParams, LinkStats, TxOutcome};
 pub use network::{Ctx, Endpoint, Path, Simulation};
 pub use packet::{
     AckHeader, DataHeader, Header, Packet, SeqRange, ACK_SIZE, MSS_PAYLOAD, MSS_WIRE,

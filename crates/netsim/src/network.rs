@@ -7,7 +7,7 @@
 //! event-driven design — no async runtime, no hidden concurrency.
 
 use crate::ids::{EndpointId, LinkId, PathId};
-use crate::link::{Admission, DropKind, Link, LinkParams, LinkStats};
+use crate::link::{Admission, DropKind, Link, LinkParams, LinkStats, TxOutcome};
 use crate::packet::{Header, Packet};
 use mpcc_simcore::{rng::splitmix64, EventQueue, SimDuration, SimRng, SimTime};
 use mpcc_telemetry::{Layer, LinkEvent, Tracer};
@@ -195,6 +195,14 @@ fn trace_admission(
             link: link_id.0,
             bytes,
         },
+        Admission::Dropped(DropKind::Burst) => LinkEvent::DropBurst {
+            link: link_id.0,
+            bytes,
+        },
+        Admission::Dropped(DropKind::Outage) => LinkEvent::DropOutage {
+            link: link_id.0,
+            bytes,
+        },
     });
 }
 
@@ -256,7 +264,13 @@ impl Simulation {
     /// Adds a link and returns its handle.
     pub fn add_link(&mut self, params: LinkParams) -> LinkId {
         let id = LinkId(self.links.len() as u32);
-        self.links.push(Link::new(params));
+        let mut link = Link::new(params);
+        // Faults draw from their own forked stream so configuring a fault
+        // plan never perturbs the random-loss sequence of any link.
+        link.set_fault_rng(
+            SimRng::seed_from_u64(0).fork(self.seed, splitmix64(0xFA17 ^ id.0 as u64)),
+        );
+        self.links.push(link);
         self.link_rngs
             .push(SimRng::seed_from_u64(0).fork(self.seed, splitmix64(0x11CC ^ id.0 as u64)));
         id
@@ -371,13 +385,51 @@ impl Simulation {
         match ev {
             Event::TxComplete(link_id) => {
                 let link = &mut self.links[link_id.0 as usize];
-                let (mut pkt, next) = link.complete_tx(self.now);
+                let (outcome, next) = link.complete_tx(self.now);
                 let delay = link.delay();
                 if let Some(done) = next {
                     self.events.schedule(done, Event::TxComplete(link_id));
                 }
-                pkt.hop = pkt.hop.saturating_add(1);
-                self.events.schedule(self.now + delay, Event::Arrive(pkt));
+                match outcome {
+                    TxOutcome::Deliver {
+                        mut pkt,
+                        extra,
+                        duplicate,
+                    } => {
+                        if !extra.is_zero() {
+                            self.tracer.emit_with(Layer::Link, self.now, || {
+                                LinkEvent::FaultReorder {
+                                    link: link_id.0,
+                                    bytes: pkt.size,
+                                    extra_delay_ns: extra.as_nanos(),
+                                }
+                            });
+                        }
+                        pkt.hop = pkt.hop.saturating_add(1);
+                        if let Some(trail) = duplicate {
+                            self.tracer.emit_with(Layer::Link, self.now, || {
+                                LinkEvent::FaultDuplicate {
+                                    link: link_id.0,
+                                    bytes: pkt.size,
+                                    extra_delay_ns: trail.as_nanos(),
+                                }
+                            });
+                            self.events.schedule(
+                                self.now + delay + extra + trail,
+                                Event::Arrive(pkt.clone()),
+                            );
+                        }
+                        self.events
+                            .schedule(self.now + delay + extra, Event::Arrive(pkt));
+                    }
+                    TxOutcome::Blackholed(pkt) => {
+                        self.tracer
+                            .emit_with(Layer::Link, self.now, || LinkEvent::DropOutage {
+                                link: link_id.0,
+                                bytes: pkt.size,
+                            });
+                    }
+                }
             }
             Event::Arrive(pkt) => {
                 let past_last_hop = match self.paths.get(pkt.path.0 as usize) {

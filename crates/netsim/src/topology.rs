@@ -104,6 +104,7 @@ impl Clos {
             delay: cfg.link_delay,
             buffer: cfg.buffer,
             random_loss: 0.0,
+            faults: crate::fault::FaultPlan::NONE,
         };
         let n_hosts = cfg.tors * cfg.hosts_per_tor;
         let host_up = (0..n_hosts).map(|_| sim.add_link(params)).collect();

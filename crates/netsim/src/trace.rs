@@ -249,6 +249,7 @@ mod tests {
             dropped_random: 5,
             delivered_packets: 900,
             delivered_bytes: 1_350_000,
+            ..LinkStats::default()
         };
         let s = summarize_link(&sim, LinkId(0), stale, SimDuration::from_secs(1));
         assert_eq!(s.delivered_bytes, 0);

@@ -239,6 +239,39 @@ pub enum LinkEvent {
         /// Packet size, bytes.
         bytes: u64,
     },
+    /// A packet was dropped by the Gilbert–Elliott burst-loss fault.
+    DropBurst {
+        /// Link id.
+        link: u32,
+        /// Packet size, bytes.
+        bytes: u64,
+    },
+    /// A packet was black-holed by a scheduled outage window (at admission
+    /// or when its serialization completed during the outage).
+    DropOutage {
+        /// Link id.
+        link: u32,
+        /// Packet size, bytes.
+        bytes: u64,
+    },
+    /// The reordering fault delayed a delivered packet.
+    FaultReorder {
+        /// Link id.
+        link: u32,
+        /// Packet size, bytes.
+        bytes: u64,
+        /// Extra delay added on top of the propagation delay, nanoseconds.
+        extra_delay_ns: u64,
+    },
+    /// The duplication fault delivered an extra copy of a packet.
+    FaultDuplicate {
+        /// Link id.
+        link: u32,
+        /// Packet size, bytes.
+        bytes: u64,
+        /// How far the copy trails the original, nanoseconds.
+        extra_delay_ns: u64,
+    },
     /// A periodic queue-occupancy sample (taken by probes, not per-packet).
     QueueSample {
         /// Link id.
@@ -370,6 +403,10 @@ impl TraceEvent {
                 LinkEvent::Enqueue { .. } => "enqueue",
                 LinkEvent::DropOverflow { .. } => "drop_overflow",
                 LinkEvent::DropRandom { .. } => "drop_random",
+                LinkEvent::DropBurst { .. } => "drop_burst",
+                LinkEvent::DropOutage { .. } => "drop_outage",
+                LinkEvent::FaultReorder { .. } => "fault_reorder",
+                LinkEvent::FaultDuplicate { .. } => "fault_duplicate",
                 LinkEvent::QueueSample { .. } => "queue_sample",
             },
         }
@@ -509,9 +546,25 @@ impl TraceEvent {
                     ("bytes", U64(bytes)),
                     ("queued_bytes", U64(queued_bytes)),
                 ],
-                LinkEvent::DropRandom { link, bytes } => {
+                LinkEvent::DropRandom { link, bytes }
+                | LinkEvent::DropBurst { link, bytes }
+                | LinkEvent::DropOutage { link, bytes } => {
                     vec![("link", U64(link as u64)), ("bytes", U64(bytes))]
                 }
+                LinkEvent::FaultReorder {
+                    link,
+                    bytes,
+                    extra_delay_ns,
+                }
+                | LinkEvent::FaultDuplicate {
+                    link,
+                    bytes,
+                    extra_delay_ns,
+                } => vec![
+                    ("link", U64(link as u64)),
+                    ("bytes", U64(bytes)),
+                    ("extra_delay_ns", U64(extra_delay_ns)),
+                ],
                 LinkEvent::QueueSample {
                     link,
                     queued_bytes,

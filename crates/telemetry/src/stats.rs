@@ -183,6 +183,14 @@ pub struct LinkStatsAgg {
     pub dropped_overflow: Counter,
     /// Random-loss drops.
     pub dropped_random: Counter,
+    /// Gilbert–Elliott burst-loss drops.
+    pub dropped_burst: Counter,
+    /// Outage black-holes.
+    pub dropped_outage: Counter,
+    /// Packets delayed by the reordering fault.
+    pub reordered: Counter,
+    /// Extra copies delivered by the duplication fault.
+    pub duplicated: Counter,
 }
 
 /// Per-connection controller counters and histograms.
@@ -315,6 +323,10 @@ impl TraceSink for StatsSink {
                     LinkEvent::Enqueue { link, .. }
                     | LinkEvent::DropOverflow { link, .. }
                     | LinkEvent::DropRandom { link, .. }
+                    | LinkEvent::DropBurst { link, .. }
+                    | LinkEvent::DropOutage { link, .. }
+                    | LinkEvent::FaultReorder { link, .. }
+                    | LinkEvent::FaultDuplicate { link, .. }
                     | LinkEvent::QueueSample { link, .. } => link,
                 };
                 let l = inner.links.entry(link).or_default();
@@ -322,6 +334,10 @@ impl TraceSink for StatsSink {
                     LinkEvent::Enqueue { .. } => l.enqueued.inc(),
                     LinkEvent::DropOverflow { .. } => l.dropped_overflow.inc(),
                     LinkEvent::DropRandom { .. } => l.dropped_random.inc(),
+                    LinkEvent::DropBurst { .. } => l.dropped_burst.inc(),
+                    LinkEvent::DropOutage { .. } => l.dropped_outage.inc(),
+                    LinkEvent::FaultReorder { .. } => l.reordered.inc(),
+                    LinkEvent::FaultDuplicate { .. } => l.duplicated.inc(),
                     LinkEvent::QueueSample { .. } => {}
                 }
             }

@@ -102,8 +102,12 @@ impl Endpoint for MpReceiver {
         self.stats.received_packets += 1;
         let now = ctx.now();
 
-        // Subflow-level sequence tracking for (S)ACK generation.
+        // Subflow-level sequence tracking for (S)ACK generation. A packet
+        // whose subflow sequence number was already received is a wire-level
+        // duplicate (e.g. a link duplication fault) even when its payload
+        // has not yet reached the in-order frontier.
         let sf = self.sf_mut(data.subflow as usize);
+        let dup_seq = data.seq < sf.cum_ack || sf.received.contains(data.seq);
         sf.received.insert(data.seq, data.seq + 1);
         if let Some(end) = sf.received.end_of_run(sf.cum_ack) {
             sf.cum_ack = end;
@@ -118,9 +122,12 @@ impl Endpoint for MpReceiver {
             .map(|(start, end)| SeqRange { start, end })
             .collect();
 
-        // Connection-level reassembly.
+        // Connection-level reassembly. Wire-level duplicates carry no new
+        // payload; packets entirely below the frontier (e.g. spurious
+        // retransmissions) are also duplicates. Either way the frontier
+        // only ever advances.
         let dsn_end = data.dsn + data.payload_len;
-        if dsn_end <= self.frontier {
+        if dup_seq || dsn_end <= self.frontier {
             self.stats.duplicate_packets += 1;
         } else {
             let start = data.dsn.max(self.frontier);

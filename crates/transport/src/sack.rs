@@ -332,6 +332,90 @@ mod tests {
     }
 
     #[test]
+    fn reordering_below_dupthresh_declares_nothing_lost() {
+        // Packets 0..4 sent; the network reorders packet 0 behind 1 and 2
+        // (two packets of reordering — below DUPTHRESH). The late arrival
+        // must be treated as a normal delivery, not a loss.
+        let mut sb = Scoreboard::new();
+        for i in 0..4 {
+            sb.on_send(chunk(i * 1448), 1500, SimTime::from_millis(i));
+        }
+        for seq in [1, 2] {
+            sb.on_ack(&ack(seq, 0, vec![]), SimTime::from_millis(30 + seq));
+            assert!(
+                sb.detect_losses().is_empty(),
+                "seq {seq} trails by < DUPTHRESH"
+            );
+        }
+        // The reordered packet finally lands: still tracked, so it yields
+        // an RTT sample and its bytes are credited exactly once.
+        let out = sb.on_ack(&ack(0, 3, vec![]), SimTime::from_millis(40));
+        assert_eq!(out.acked_bytes, 1448);
+        assert!(out.rtt_sample.is_some());
+        assert!(sb.detect_losses().is_empty());
+        assert_eq!(sb.total_lost_packets(), 0);
+        assert_eq!(sb.inflight_packets(), 1); // only packet 3 left
+    }
+
+    #[test]
+    fn reordering_beyond_dupthresh_declares_spurious_loss() {
+        // Packet 0 is reordered so far behind that DUPTHRESH packets
+        // overtake it: FACK declares it lost (spuriously).
+        let mut sb = Scoreboard::new();
+        for i in 0..5 {
+            sb.on_send(chunk(i * 1448), 1500, SimTime::ZERO);
+        }
+        for seq in 1..=DUPTHRESH {
+            sb.on_ack(&ack(seq, 0, vec![]), SimTime::from_millis(30));
+        }
+        let lost = sb.detect_losses();
+        assert_eq!(lost.len(), 1, "seq 0 trails highest_acked by DUPTHRESH");
+        assert_eq!(lost[0].0, 0);
+        assert_eq!(lost[0].1.chunk, chunk(0));
+        assert_eq!(sb.total_lost_packets(), 1);
+        // The "lost" bytes are no longer counted in flight (the sender will
+        // requeue the chunk), even though the packet is still in the network.
+        assert_eq!(sb.inflight_packets(), 1); // packet 4
+        assert_eq!(sb.inflight_bytes(), 1448);
+    }
+
+    #[test]
+    fn late_ack_after_spurious_loss_is_benign() {
+        // The continuation of the case above: after seq 0 was (spuriously)
+        // declared lost, its original copy finally arrives and is acked.
+        // The late ACK must not double-credit bytes, must not produce an
+        // RTT sample from the forgotten packet, and must leave the
+        // accounting consistent.
+        let mut sb = Scoreboard::new();
+        for i in 0..5 {
+            sb.on_send(chunk(i * 1448), 1500, SimTime::ZERO);
+        }
+        for seq in 1..=DUPTHRESH {
+            sb.on_ack(&ack(seq, 0, vec![]), SimTime::from_millis(30));
+        }
+        assert_eq!(sb.detect_losses().len(), 1);
+        let delivered_before = sb.delivered_bytes();
+        let acked_before = sb.total_acked_packets();
+
+        // Receiver's cumulative ack jumps to 4 once seq 0 fills its gap.
+        let out = sb.on_ack(&ack(0, 4, vec![]), SimTime::from_millis(90));
+        assert_eq!(out.acked_bytes, 0, "late ACK of a forgotten packet");
+        assert!(out.acked.is_empty());
+        assert!(
+            out.rtt_sample.is_none(),
+            "no RTT sample from an untracked packet"
+        );
+        assert_eq!(sb.delivered_bytes(), delivered_before);
+        assert_eq!(sb.total_acked_packets(), acked_before);
+        // Loss stays recorded — the scoreboard has no undo; the spurious
+        // retransmission is the receiver's duplicate to discard.
+        assert_eq!(sb.total_lost_packets(), 1);
+        // And the late cum_ack does not re-trigger loss on packet 4.
+        assert!(sb.detect_losses().is_empty());
+        assert_eq!(sb.inflight_packets(), 1);
+    }
+
+    #[test]
     fn cum_ack_advances_highest() {
         let mut sb = Scoreboard::new();
         for i in 0..10 {

@@ -8,6 +8,7 @@
 //! ```
 
 use mpcc::{Mpcc, MpccConfig};
+use mpcc_netsim::fault::FaultPlan;
 use mpcc_netsim::link::LinkParams;
 use mpcc_netsim::topology::parallel_links;
 use mpcc_simcore::{Rate, SimDuration, SimTime};
@@ -19,12 +20,14 @@ fn main() {
         delay: SimDuration::from_millis(15),
         buffer: 120_000,
         random_loss: 0.003,
+        faults: FaultPlan::NONE,
     };
     let lte = LinkParams {
         capacity: Rate::from_mbps(18.0),
         delay: SimDuration::from_millis(55),
         buffer: 600_000,
         random_loss: 0.008,
+        faults: FaultPlan::NONE,
     };
     let mut net = parallel_links(21, &[wifi, lte]);
     let p_wifi = net.path(0);

@@ -6,6 +6,7 @@
 //! cargo run --release --example wifi_lte
 //! ```
 
+use mpcc_netsim::fault::FaultPlan;
 use mpcc_netsim::link::LinkParams;
 use mpcc_netsim::topology::parallel_links;
 use mpcc_simcore::{Rate, SimDuration, SimTime};
@@ -20,6 +21,7 @@ fn wifi() -> LinkParams {
         delay: SimDuration::from_millis(15),
         buffer: 120_000,
         random_loss: 0.003,
+        faults: FaultPlan::NONE,
     }
 }
 
@@ -30,6 +32,7 @@ fn lte() -> LinkParams {
         delay: SimDuration::from_millis(55),
         buffer: 600_000,
         random_loss: 0.008,
+        faults: FaultPlan::NONE,
     }
 }
 

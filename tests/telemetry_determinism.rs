@@ -8,6 +8,7 @@
 //!   formatting is deterministic).
 
 use mpcc::{Mpcc, MpccConfig};
+use mpcc_netsim::fault::FaultPlan;
 use mpcc_netsim::link::LinkParams;
 use mpcc_netsim::topology::parallel_links;
 use mpcc_simcore::{Rate, SimDuration, SimTime};
@@ -52,12 +53,14 @@ fn run(seed: u64, tracer: Tracer) -> Outcome {
             delay: SimDuration::from_millis(15),
             buffer: 75_000,
             random_loss: 0.005,
+            faults: FaultPlan::NONE,
         },
         LinkParams {
             capacity: Rate::from_mbps(15.0),
             delay: SimDuration::from_millis(40),
             buffer: 50_000,
             random_loss: 0.0,
+            faults: FaultPlan::NONE,
         },
     ];
     let mut net = parallel_links(seed, &links);
