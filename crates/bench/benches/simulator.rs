@@ -89,16 +89,17 @@ fn bench_range_set(c: &mut Criterion) {
 fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(10);
-    // One simulated second at 100 Mbps ≈ 8.6k data packets + ACKs.
+    // One simulated second at 100 Mbps ≈ 8.6k data packets + ACKs. The run
+    // is deterministic, so the event count is the same every iteration;
+    // print it once so the per-iteration time above divides into a
+    // per-event cost.
+    let events = run_bulk_sim(Box::new(reno()), SchedulerKind::Default, 1, 1, 7).events;
+    println!("end_to_end/reno_1link_1s: {events} events per iteration");
     group.bench_function("reno_1link_1s", |b| {
         b.iter(|| {
-            black_box(run_bulk_sim(
-                Box::new(reno()),
-                SchedulerKind::Default,
-                1,
-                1,
-                7,
-            ))
+            black_box(
+                run_bulk_sim(Box::new(reno()), SchedulerKind::Default, 1, 1, 7).delivered_bytes,
+            )
         })
     });
     group.finish();

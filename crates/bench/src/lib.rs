@@ -16,16 +16,28 @@ use mpcc_netsim::topology::uniform_parallel_links;
 use mpcc_simcore::{SimDuration, SimTime};
 use mpcc_transport::{MpReceiver, MpSender, MultipathCc, SenderConfig};
 
+/// What one [`run_bulk_sim`] call did, for per-event throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub struct BulkRun {
+    /// Connection-level bytes acknowledged by the end of the run.
+    pub delivered_bytes: u64,
+    /// Events the simulation loop dispatched — the simulator's unit of
+    /// work, so wall time divided by this is the cost per event.
+    pub events: u64,
+    /// High-water mark of the future-event list.
+    pub peak_queue_len: usize,
+}
+
 /// Runs one bulk connection (controller `cc`) over `n_links` paper-default
-/// links for `sim_secs` simulated seconds; returns delivered bytes.
-/// Benchmarks wrap this to measure wall time per simulated second.
+/// links for `sim_secs` simulated seconds. Benchmarks wrap this to measure
+/// wall time per simulated second and per event.
 pub fn run_bulk_sim(
     cc: Box<dyn MultipathCc>,
     scheduler: mpcc_transport::SchedulerKind,
     n_links: usize,
     sim_secs: u64,
     seed: u64,
-) -> u64 {
+) -> BulkRun {
     let mut net = uniform_parallel_links(seed, n_links, LinkParams::paper_default());
     let paths: Vec<_> = (0..n_links).map(|i| net.path(i)).collect();
     let mut sim = net.sim;
@@ -33,7 +45,11 @@ pub fn run_bulk_sim(
     let cfg = SenderConfig::bulk(recv, paths).with_scheduler(scheduler);
     let sender = sim.add_endpoint(Box::new(MpSender::new(cfg, cc)));
     sim.run_until(SimTime::ZERO + SimDuration::from_secs(sim_secs));
-    sim.endpoint::<MpSender>(sender).data_acked()
+    BulkRun {
+        delivered_bytes: sim.endpoint::<MpSender>(sender).data_acked(),
+        events: sim.events_processed(),
+        peak_queue_len: sim.peak_queue_len(),
+    }
 }
 
 #[cfg(test)]
@@ -44,7 +60,9 @@ mod tests {
 
     #[test]
     fn helper_moves_data() {
-        let delivered = run_bulk_sim(Box::new(reno()), SchedulerKind::Default, 1, 3, 9);
-        assert!(delivered > 1_000_000, "{delivered}");
+        let run = run_bulk_sim(Box::new(reno()), SchedulerKind::Default, 1, 3, 9);
+        assert!(run.delivered_bytes > 1_000_000, "{run:?}");
+        assert!(run.events > 10_000, "{run:?}");
+        assert!(run.peak_queue_len > 0, "{run:?}");
     }
 }

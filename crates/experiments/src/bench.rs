@@ -1,0 +1,212 @@
+//! Wall-clock measurement mode (`experiments --bench`).
+//!
+//! Runs the canonical `mpcc-bench` bulk workload — one MPCC connection
+//! over two paper-default links — under a wall clock and emits
+//! `BENCH_simulator.json`: simulated-seconds per wall-second, events per
+//! second, peak event-queue depth. The committed copy at the repo root is
+//! the performance baseline; `--bench-check FILE` compares a fresh run
+//! against it and fails on a >20 % events/sec regression, which is the
+//! CI bench-smoke gate.
+//!
+//! The workload itself is deterministic (fixed seed), so `events`,
+//! `peak_event_queue_len`, and `delivered_bytes` are exact across
+//! machines; only the wall-clock rates vary.
+
+use crate::protocols;
+use mpcc_bench::{run_bulk_sim, BulkRun};
+use std::path::Path;
+use std::time::Instant;
+
+/// The workload label written into the JSON (and asserted by the check).
+pub const WORKLOAD: &str = "bulk-2link-paper-default";
+/// Protocol label driving the bench connection.
+pub const PROTOCOL: &str = "mpcc-loss";
+/// Parallel paper-default links in the bench topology.
+pub const N_LINKS: usize = 2;
+/// Seed for the bench run (fixed: the event count must be reproducible).
+pub const SEED: u64 = 7;
+/// Relative events/sec loss that fails `--bench-check`.
+pub const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Knobs of one `--bench` invocation.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Simulated seconds per repetition.
+    pub sim_secs: u64,
+    /// Repetitions; the median wall time is reported.
+    pub reps: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            sim_secs: 10,
+            reps: 5,
+        }
+    }
+}
+
+/// One measured bench result.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchReport {
+    /// Configuration the measurement ran under.
+    pub cfg: BenchConfig,
+    /// Deterministic per-run outcome (events, delivered bytes, peak queue).
+    pub run: BulkRun,
+    /// Median wall-clock seconds of one repetition.
+    pub wall_secs: f64,
+}
+
+impl BenchReport {
+    /// Simulated seconds advanced per wall-clock second.
+    pub fn sim_secs_per_wall_sec(&self) -> f64 {
+        self.cfg.sim_secs as f64 / self.wall_secs
+    }
+
+    /// Simulation events dispatched per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.run.events as f64 / self.wall_secs
+    }
+
+    /// Renders the `BENCH_simulator.json` document. `baseline` carries the
+    /// pre-change BinaryHeap measurement forward so the speedup stays on
+    /// record next to the current number.
+    pub fn to_json(&self, queue: &str, baseline: Option<(&str, f64)>) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str(&format!("  \"workload\": \"{WORKLOAD}\",\n"));
+        out.push_str(&format!("  \"protocol\": \"{PROTOCOL}\",\n"));
+        out.push_str(&format!("  \"n_links\": {N_LINKS},\n"));
+        out.push_str(&format!("  \"seed\": {SEED},\n"));
+        out.push_str(&format!("  \"sim_secs\": {},\n", self.cfg.sim_secs));
+        out.push_str(&format!("  \"reps\": {},\n", self.cfg.reps));
+        out.push_str(&format!("  \"queue\": \"{queue}\",\n"));
+        out.push_str(&format!("  \"wall_secs_median\": {:.4},\n", self.wall_secs));
+        out.push_str(&format!(
+            "  \"sim_secs_per_wall_sec\": {:.2},\n",
+            self.sim_secs_per_wall_sec()
+        ));
+        out.push_str(&format!("  \"events\": {},\n", self.run.events));
+        out.push_str(&format!(
+            "  \"events_per_sec\": {:.0},\n",
+            self.events_per_sec()
+        ));
+        out.push_str(&format!(
+            "  \"peak_event_queue_len\": {},\n",
+            self.run.peak_queue_len
+        ));
+        out.push_str(&format!(
+            "  \"delivered_bytes\": {}",
+            self.run.delivered_bytes
+        ));
+        if let Some((name, eps)) = baseline {
+            out.push_str(&format!(
+                ",\n  \"baseline\": {{ \"queue\": \"{name}\", \"events_per_sec\": {eps:.0} }}"
+            ));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// Runs the bench workload `cfg.reps` times and reports the median wall
+/// time. Asserts every repetition produced the identical deterministic
+/// outcome — a cheap end-to-end determinism check in passing.
+pub fn measure(cfg: BenchConfig) -> BenchReport {
+    assert!(cfg.reps >= 1, "--bench-reps must be >= 1");
+    let mut walls = Vec::with_capacity(cfg.reps);
+    let mut first: Option<BulkRun> = None;
+    for _ in 0..cfg.reps {
+        let cc = protocols::make(PROTOCOL, SEED);
+        let sched = protocols::scheduler_for(PROTOCOL);
+        let start = Instant::now();
+        let run = run_bulk_sim(cc, sched, N_LINKS, cfg.sim_secs, SEED);
+        walls.push(start.elapsed().as_secs_f64());
+        match first {
+            None => first = Some(run),
+            Some(f) => assert_eq!(
+                (f.events, f.delivered_bytes, f.peak_queue_len),
+                (run.events, run.delivered_bytes, run.peak_queue_len),
+                "bench workload is not deterministic across repetitions"
+            ),
+        }
+    }
+    walls.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    BenchReport {
+        cfg,
+        run: first.expect("reps >= 1"),
+        wall_secs: walls[walls.len() / 2],
+    }
+}
+
+/// Extracts a numeric field from the flat committed JSON (hand-rolled, as
+/// everywhere else in the repo: no serde in the dependency tree).
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares a fresh measurement against the committed baseline file.
+/// Returns an error line if events/sec regressed beyond the tolerance.
+pub fn check(report: &BenchReport, baseline_path: &Path) -> Result<String, String> {
+    let doc = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
+    let committed = json_number(&doc, "events_per_sec")
+        .ok_or_else(|| format!("no events_per_sec in {}", baseline_path.display()))?;
+    let fresh = report.events_per_sec();
+    let floor = committed * (1.0 - REGRESSION_TOLERANCE);
+    let verdict = format!(
+        "bench-check: fresh {fresh:.0} events/sec vs committed {committed:.0} (floor {floor:.0})"
+    );
+    if fresh < floor {
+        Err(format!("{verdict} — REGRESSION"))
+    } else {
+        Ok(verdict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_number_parses_committed_fields() {
+        let doc = "{\n  \"events_per_sec\": 123456,\n  \"wall_secs_median\": 1.5\n}\n";
+        assert_eq!(json_number(doc, "events_per_sec"), Some(123456.0));
+        assert_eq!(json_number(doc, "wall_secs_median"), Some(1.5));
+        assert_eq!(json_number(doc, "missing"), None);
+    }
+
+    #[test]
+    fn bench_measures_and_checks() {
+        let report = measure(BenchConfig {
+            sim_secs: 1,
+            reps: 2,
+        });
+        assert!(report.run.events > 10_000, "{report:?}");
+        assert!(report.wall_secs > 0.0);
+        let json = report.to_json("timer-wheel", Some(("binary-heap", 1.0)));
+        assert!(json.contains("\"events_per_sec\""));
+        assert!(json.contains("\"baseline\""));
+
+        let dir = std::env::temp_dir().join(format!("mpcc-bench-check-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        std::fs::write(&path, &json).unwrap();
+        // Fresh == committed: passes the 20 % gate.
+        assert!(check(&report, &path).is_ok());
+        // An absurdly fast committed baseline: fails the gate.
+        let fast = json.replace(
+            &format!("\"events_per_sec\": {:.0}", report.events_per_sec()),
+            "\"events_per_sec\": 99999999999",
+        );
+        std::fs::write(&path, fast).unwrap();
+        assert!(check(&report, &path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod output;
 pub mod protocols;
 pub mod runner;

@@ -1,8 +1,10 @@
 //! The experiments binary: `experiments <id>... [--full] [--seed N]
 //! [--runs N] [--jobs N] [--out DIR] [--trace FILE]
 //! [--trace-filter LAYERS] [--faults SPEC]`, or `experiments all` /
-//! `experiments list`.
+//! `experiments list`, or `experiments --bench [--bench-secs N]
+//! [--bench-reps N] [--bench-check FILE] [--bench-baseline NAME:EPS]`.
 
+use mpcc_experiments::bench::{self, BenchConfig};
 use mpcc_experiments::runner::{Executor, TraceConfig};
 use mpcc_experiments::scenarios::{self, ALL};
 use mpcc_experiments::ExpConfig;
@@ -17,6 +19,10 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut trace_mask = LayerMask::ALL;
     let mut faults = FaultPlan::NONE;
+    let mut bench_mode = false;
+    let mut bench_cfg = BenchConfig::default();
+    let mut bench_check: Option<String> = None;
+    let mut bench_baseline: Option<(String, f64)> = None;
     let mut jobs: usize = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -24,6 +30,34 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--full" => cfg.full = true,
+            "--bench" => bench_mode = true,
+            "--bench-secs" => {
+                bench_cfg.sim_secs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--bench-secs needs an integer >= 1");
+            }
+            "--bench-reps" => {
+                bench_cfg.reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--bench-reps needs an integer >= 1");
+            }
+            "--bench-check" => {
+                bench_check = Some(it.next().expect("--bench-check needs a baseline file"));
+            }
+            "--bench-baseline" => {
+                let spec = it
+                    .next()
+                    .expect("--bench-baseline needs NAME:EVENTS_PER_SEC");
+                let (name, eps) = spec
+                    .split_once(':')
+                    .and_then(|(n, e)| e.parse::<f64>().ok().map(|e| (n.to_string(), e)))
+                    .expect("--bench-baseline needs NAME:EVENTS_PER_SEC");
+                bench_baseline = Some((name, eps));
+            }
             "--seed" => {
                 cfg.seed = it
                     .next()
@@ -71,11 +105,17 @@ fn main() {
             id => ids.push(id.to_string()),
         }
     }
+    if bench_mode {
+        run_bench_mode(&cfg, bench_cfg, bench_check, bench_baseline);
+        return;
+    }
     if ids.is_empty() {
         eprintln!(
             "usage: experiments <id>... | all | list  [--full] [--seed N] [--runs N] [--jobs N] \
              [--out DIR] [--trace FILE] [--trace-filter controller,transport,link] \
-             [--faults 'reorder:p=0.05,extra=20ms;outage:at=5s,down=1s']"
+             [--faults 'reorder:p=0.05,extra=20ms;outage:at=5s,down=1s']\n\
+             or:    experiments --bench [--bench-secs N] [--bench-reps N] \
+             [--bench-check FILE] [--bench-baseline NAME:EPS] [--out DIR]"
         );
         eprintln!("ids: {}", ALL.join(" "));
         std::process::exit(2);
@@ -100,4 +140,48 @@ fn main() {
         }
         eprintln!("<<< {id} done in {:.1}s", start.elapsed().as_secs_f64());
     }
+}
+
+/// `--bench`: measure the canonical bulk workload. With `--bench-check`,
+/// compare against the committed baseline and exit nonzero on regression;
+/// otherwise write `BENCH_simulator.json` into the output directory.
+fn run_bench_mode(
+    cfg: &ExpConfig,
+    bench_cfg: BenchConfig,
+    check: Option<String>,
+    baseline: Option<(String, f64)>,
+) {
+    eprintln!(
+        ">>> bench: {} x{} sim-secs, {} reps (queue: {})",
+        bench::WORKLOAD,
+        bench_cfg.sim_secs,
+        bench_cfg.reps,
+        mpcc_simcore::queue::QUEUE_IMPL,
+    );
+    let report = bench::measure(bench_cfg);
+    eprintln!(
+        "<<< bench: {:.1} sim-secs/wall-sec, {:.0} events/sec, {} events, peak queue {}",
+        report.sim_secs_per_wall_sec(),
+        report.events_per_sec(),
+        report.run.events,
+        report.run.peak_queue_len,
+    );
+    if let Some(path) = check {
+        match bench::check(&report, std::path::Path::new(&path)) {
+            Ok(line) => println!("{line}"),
+            Err(line) => {
+                eprintln!("{line}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let json = report.to_json(
+        mpcc_simcore::queue::QUEUE_IMPL,
+        baseline.as_ref().map(|(n, e)| (n.as_str(), *e)),
+    );
+    std::fs::create_dir_all(&cfg.out_dir).expect("create output dir");
+    let path = cfg.out_dir.join("BENCH_simulator.json");
+    std::fs::write(&path, json).expect("write BENCH_simulator.json");
+    println!("wrote {}", path.display());
 }

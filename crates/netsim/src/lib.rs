@@ -28,5 +28,6 @@ pub use ids::{EndpointId, LinkId, PathId};
 pub use link::{Admission, DropKind, Link, LinkParams, LinkStats, TxOutcome};
 pub use network::{Ctx, Endpoint, Path, Simulation};
 pub use packet::{
-    AckHeader, DataHeader, Header, Packet, SeqRange, ACK_SIZE, MSS_PAYLOAD, MSS_WIRE,
+    AckHeader, DataHeader, Header, Packet, SackBlocks, SeqRange, ACK_SIZE, MAX_SACK_BLOCKS,
+    MSS_PAYLOAD, MSS_WIRE,
 };

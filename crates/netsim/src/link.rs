@@ -7,7 +7,7 @@
 //! the paper), and their parameters can change mid-run (§7.2.3).
 
 use crate::fault::{FaultPlan, FaultState};
-use crate::packet::Packet;
+use crate::packet::{Packet, MSS_WIRE};
 use mpcc_simcore::{Rate, SimDuration, SimRng, SimTime};
 use std::collections::VecDeque;
 
@@ -160,13 +160,22 @@ impl Link {
     /// per-link stream forked from the experiment seed.
     pub fn new(params: LinkParams) -> Self {
         Link {
+            queue: VecDeque::with_capacity(Self::queue_capacity_for(&params)),
             params,
-            queue: VecDeque::new(),
             queued_bytes: 0,
             transmitting: false,
             stats: LinkStats::default(),
             faults: FaultState::default(),
         }
+    }
+
+    /// Packets the droptail buffer holds at its typical worst (full-sized
+    /// data segments; ACKs never queue — the reverse direction is pure
+    /// delay), clamped so pathological test buffers (`u64::MAX`) don't
+    /// pre-allocate the world. Sizing the queue up front keeps the
+    /// steady-state packet path free of reallocation.
+    fn queue_capacity_for(params: &LinkParams) -> usize {
+        (params.buffer / MSS_WIRE).saturating_add(1).min(1024) as usize
     }
 
     /// Installs the fault-process RNG (forked per link by the simulation).
@@ -187,6 +196,10 @@ impl Link {
     /// Applies a parameter change (takes effect for subsequent packets;
     /// a packet already being serialized keeps its old completion time).
     pub fn set_params(&mut self, params: LinkParams) {
+        let cap = Self::queue_capacity_for(&params);
+        if cap > self.queue.capacity() {
+            self.queue.reserve(cap - self.queue.len());
+        }
         self.params = params;
     }
 

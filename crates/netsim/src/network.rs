@@ -219,6 +219,8 @@ pub struct Simulation {
     now: SimTime,
     started: Vec<EndpointId>,
     tracer: Tracer,
+    /// Clamped-schedule count already reported through the tracer.
+    warned_clamps: u64,
 }
 
 impl Simulation {
@@ -236,6 +238,7 @@ impl Simulation {
             now: SimTime::ZERO,
             started: Vec::new(),
             tracer: Tracer::off(),
+            warned_clamps: 0,
         }
     }
 
@@ -259,6 +262,23 @@ impl Simulation {
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Total events the loop has dispatched (the simulator's unit of work;
+    /// benchmark throughput is reported per event).
+    pub fn events_processed(&self) -> u64 {
+        self.events.events_popped()
+    }
+
+    /// High-water mark of the future-event list.
+    pub fn peak_queue_len(&self) -> usize {
+        self.events.peak_len()
+    }
+
+    /// Times an event was scheduled in the past and clamped to `now`
+    /// (release builds only; debug builds panic on past schedules).
+    pub fn clamped_schedules(&self) -> u64 {
+        self.events.clamped_schedules()
     }
 
     /// Adds a link and returns its handle.
@@ -357,6 +377,16 @@ impl Simulation {
             let (t, ev) = self.events.pop().expect("peeked");
             self.now = t;
             self.dispatch(ev);
+            // Surface release-mode past-schedule clamps (debug builds panic
+            // instead). A single u64 compare in the common (zero-clamp) case.
+            let clamped = self.events.clamped_schedules();
+            if clamped > self.warned_clamps {
+                self.warned_clamps = clamped;
+                self.tracer
+                    .emit_with(Layer::Link, self.now, || LinkEvent::ClockClamp {
+                        count: clamped,
+                    });
+            }
         }
         if self.now < until {
             self.now = until;
@@ -406,6 +436,8 @@ impl Simulation {
                             });
                         }
                         pkt.hop = pkt.hop.saturating_add(1);
+                        // `Packet` is `Copy`, so the rare duplication fault
+                        // is a stack copy and the common path never clones.
                         if let Some(trail) = duplicate {
                             self.tracer.emit_with(Layer::Link, self.now, || {
                                 LinkEvent::FaultDuplicate {
@@ -414,10 +446,8 @@ impl Simulation {
                                     extra_delay_ns: trail.as_nanos(),
                                 }
                             });
-                            self.events.schedule(
-                                self.now + delay + extra + trail,
-                                Event::Arrive(pkt.clone()),
-                            );
+                            self.events
+                                .schedule(self.now + delay + extra + trail, Event::Arrive(pkt));
                         }
                         self.events
                             .schedule(self.now + delay + extra, Event::Arrive(pkt));
@@ -494,7 +524,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{AckHeader, DataHeader, MSS_PAYLOAD, MSS_WIRE};
+    use crate::packet::{AckHeader, DataHeader, SackBlocks, MSS_PAYLOAD, MSS_WIRE};
 
     /// Sends `count` packets at start, records ACK arrival times.
     struct TestSender {
@@ -548,7 +578,7 @@ mod tests {
     impl Endpoint for TestReceiver {
         fn start(&mut self, _ctx: &mut Ctx<'_>) {}
         fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
-            let data = pkt.data().expect("receiver gets data").clone();
+            let data = *pkt.data().expect("receiver gets data");
             self.received += 1;
             let rev = ctx.path_reverse_delay(pkt.path);
             ctx.send_direct(
@@ -558,7 +588,7 @@ mod tests {
                 Header::Ack(AckHeader {
                     subflow: data.subflow,
                     cum_ack: data.seq + 1,
-                    sack: vec![],
+                    sack: SackBlocks::EMPTY,
                     ack_seq: data.seq,
                     echo_sent_at: data.sent_at,
                     data_acked: data.dsn + data.payload_len,

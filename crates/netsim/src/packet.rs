@@ -17,9 +17,13 @@ pub const MSS_PAYLOAD: u64 = 1448;
 /// Size of a pure ACK on the wire.
 pub const ACK_SIZE: u64 = 64;
 
+/// Maximum SACK blocks carried per ACK (mirrors TCP's option-space limit
+/// of 3–4 blocks; the receiver reports the highest ranges).
+pub const MAX_SACK_BLOCKS: usize = 4;
+
 /// A half-open range `[start, end)` of subflow sequence numbers, used in
 /// SACK blocks.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SeqRange {
     /// First sequence number covered.
     pub start: u64,
@@ -44,12 +48,87 @@ impl SeqRange {
     }
 }
 
+/// The SACK blocks of one ACK, inlined at fixed capacity so building and
+/// copying an [`AckHeader`] never allocates (the wire format is equally
+/// bounded: TCP fits at most 3–4 SACK blocks in its option space).
+///
+/// Blocks are kept in the order the receiver reports them: highest range
+/// first. Dereferences to a slice, so iteration and indexing read like the
+/// `Vec` it replaces.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SackBlocks {
+    len: u8,
+    blocks: [SeqRange; MAX_SACK_BLOCKS],
+}
+
+impl SackBlocks {
+    /// No blocks.
+    pub const EMPTY: SackBlocks = SackBlocks {
+        len: 0,
+        blocks: [SeqRange { start: 0, end: 0 }; MAX_SACK_BLOCKS],
+    };
+
+    /// Creates an empty block list.
+    pub fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// Builds a block list from the first [`MAX_SACK_BLOCKS`] ranges of an
+    /// iterator (any excess is silently dropped, as on the wire).
+    pub fn from_ranges<I: IntoIterator<Item = SeqRange>>(ranges: I) -> Self {
+        let mut out = Self::EMPTY;
+        for r in ranges {
+            if !out.push(r) {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Appends a block; returns `false` (dropping it) once full.
+    pub fn push(&mut self, r: SeqRange) -> bool {
+        if (self.len as usize) < MAX_SACK_BLOCKS {
+            self.blocks[self.len as usize] = r;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The blocks as a slice.
+    pub fn as_slice(&self) -> &[SeqRange] {
+        &self.blocks[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for SackBlocks {
+    type Target = [SeqRange];
+    fn deref(&self) -> &[SeqRange] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a SackBlocks {
+    type Item = &'a SeqRange;
+    type IntoIter = std::slice::Iter<'a, SeqRange>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<SeqRange> for SackBlocks {
+    fn from_iter<I: IntoIterator<Item = SeqRange>>(iter: I) -> Self {
+        Self::from_ranges(iter)
+    }
+}
+
 /// Transport header of a data segment.
 ///
 /// Subflow sequence numbers count *packets* (not bytes) within one subflow;
 /// data sequence numbers (DSN) count *bytes* at the connection level, as in
 /// MPTCP's data sequence space.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct DataHeader {
     /// Which of the connection's subflows this segment travels on.
     pub subflow: u32,
@@ -66,14 +145,14 @@ pub struct DataHeader {
 }
 
 /// Transport header of an acknowledgement.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct AckHeader {
     /// Subflow being acknowledged.
     pub subflow: u32,
     /// Next subflow sequence number expected in order (cumulative ACK).
     pub cum_ack: u64,
-    /// Out-of-order ranges received (most recent first, bounded length).
-    pub sack: Vec<SeqRange>,
+    /// Out-of-order ranges received (highest first, bounded capacity).
+    pub sack: SackBlocks,
     /// Sequence number of the segment that triggered this ACK.
     pub ack_seq: u64,
     /// Echo of that segment's `sent_at`, for RTT measurement.
@@ -87,7 +166,7 @@ pub struct AckHeader {
 }
 
 /// Transport payload of a packet.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub enum Header {
     /// A data segment.
     Data(DataHeader),
@@ -95,8 +174,10 @@ pub enum Header {
     Ack(AckHeader),
 }
 
-/// A packet in flight.
-#[derive(Clone, Debug)]
+/// A packet in flight. `Copy`: the header is fully inline (see
+/// [`SackBlocks`]), so duplicating a packet is a stack copy, and the
+/// event loop never heap-allocates to move one.
+#[derive(Clone, Copy, Debug)]
 pub struct Packet {
     /// Globally unique packet id (diagnostics only).
     pub id: u64,

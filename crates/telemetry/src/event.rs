@@ -281,6 +281,15 @@ pub enum LinkEvent {
         /// Packets queued.
         queued_packets: u64,
     },
+    /// The simulator clamped an event scheduled in the past up to `now`.
+    ///
+    /// This is a warning: a correct model never schedules into the past, and
+    /// debug builds panic instead. In release builds the schedule is clamped
+    /// (preserving monotonic time) and this event reports the running count.
+    ClockClamp {
+        /// Total clamped schedules observed so far in this simulation.
+        count: u64,
+    },
 }
 
 /// Any event from any layer.
@@ -408,6 +417,7 @@ impl TraceEvent {
                 LinkEvent::FaultReorder { .. } => "fault_reorder",
                 LinkEvent::FaultDuplicate { .. } => "fault_duplicate",
                 LinkEvent::QueueSample { .. } => "queue_sample",
+                LinkEvent::ClockClamp { .. } => "clock_clamp",
             },
         }
     }
@@ -574,6 +584,7 @@ impl TraceEvent {
                     ("queued_bytes", U64(queued_bytes)),
                     ("queued_packets", U64(queued_packets)),
                 ],
+                LinkEvent::ClockClamp { count } => vec![("count", U64(count))],
             },
         }
     }

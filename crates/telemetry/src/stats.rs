@@ -320,6 +320,8 @@ impl TraceSink for StatsSink {
             }
             TraceEvent::Link(e) => {
                 let link = match e {
+                    // Not tied to any link; nothing to aggregate per-link.
+                    LinkEvent::ClockClamp { .. } => return,
                     LinkEvent::Enqueue { link, .. }
                     | LinkEvent::DropOverflow { link, .. }
                     | LinkEvent::DropRandom { link, .. }
@@ -339,6 +341,8 @@ impl TraceSink for StatsSink {
                     LinkEvent::FaultReorder { .. } => l.reordered.inc(),
                     LinkEvent::FaultDuplicate { .. } => l.duplicated.inc(),
                     LinkEvent::QueueSample { .. } => {}
+                    // Filtered out by the early return above.
+                    LinkEvent::ClockClamp { .. } => unreachable!(),
                 }
             }
         }

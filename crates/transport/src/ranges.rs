@@ -3,14 +3,18 @@
 //! Used for receiver-side bookkeeping in both sequence spaces: out-of-order
 //! subflow sequence numbers (SACK generation) and out-of-order data sequence
 //! bytes (connection-level reassembly).
-
-use std::collections::BTreeMap;
+//!
+//! Backed by a sorted `Vec` rather than a `BTreeMap`: the steady-state set
+//! holds one or two ranges, where binary search plus a contiguous extend is
+//! far cheaper than tree-node traversal, and the retained capacity keeps the
+//! per-packet receive path allocation-free after warm-up. Pathological sets
+//! are bounded by callers via [`RangeSet::truncate_to`].
 
 /// A set of disjoint, coalesced half-open ranges `[start, end)`.
 #[derive(Clone, Debug, Default)]
 pub struct RangeSet {
-    /// start -> end, disjoint and non-adjacent.
-    map: BTreeMap<u64, u64>,
+    /// `(start, end)` pairs, sorted ascending, disjoint and non-adjacent.
+    v: Vec<(u64, u64)>,
 }
 
 impl RangeSet {
@@ -19,41 +23,54 @@ impl RangeSet {
         Self::default()
     }
 
+    /// Index of the first range whose start is strictly above `value`; the
+    /// range at `idx - 1` (if any) is the only one that can cover `value`.
+    #[inline]
+    fn upper_bound(&self, value: u64) -> usize {
+        self.v.partition_point(|&(s, _)| s <= value)
+    }
+
     /// Inserts `[start, end)`, merging with overlapping or adjacent ranges.
     pub fn insert(&mut self, start: u64, end: u64) {
         if end <= start {
             return;
         }
+        let p = self.upper_bound(start);
         let mut new_start = start;
         let mut new_end = end;
+        let mut lo = p;
         // Merge with a predecessor that overlaps or touches `start`.
-        if let Some((&s, &e)) = self.map.range(..=start).next_back() {
-            if e >= start {
-                if e >= end {
+        if p > 0 {
+            let (ps, pe) = self.v[p - 1];
+            if pe >= start {
+                if pe >= end {
                     return; // fully contained
                 }
-                new_start = s;
-                new_end = new_end.max(e);
-                self.map.remove(&s);
+                new_start = ps;
+                new_end = new_end.max(pe);
+                lo = p - 1;
             }
         }
-        // Merge with successors swallowed by or touching the new range.
-        while let Some((&s, &e)) = self.map.range(new_start..).next() {
-            if s > new_end {
-                break;
-            }
-            new_end = new_end.max(e);
-            self.map.remove(&s);
+        // Swallow successors overlapped or touched by the new range.
+        let mut hi = p;
+        while hi < self.v.len() && self.v[hi].0 <= new_end {
+            new_end = new_end.max(self.v[hi].1);
+            hi += 1;
         }
-        self.map.insert(new_start, new_end);
+        if lo < hi {
+            // The common in-order case lands here with `hi == lo + 1`:
+            // extend the existing range in place, no element shifting.
+            self.v[lo] = (new_start, new_end);
+            self.v.drain(lo + 1..hi);
+        } else {
+            self.v.insert(lo, (new_start, new_end));
+        }
     }
 
     /// `true` if `value` is covered.
     pub fn contains(&self, value: u64) -> bool {
-        self.map
-            .range(..=value)
-            .next_back()
-            .is_some_and(|(_, &e)| e > value)
+        let p = self.upper_bound(value);
+        p > 0 && self.v[p - 1].1 > value
     }
 
     /// `true` if the whole of `[start, end)` is covered.
@@ -61,67 +78,64 @@ impl RangeSet {
         if end <= start {
             return true;
         }
-        self.map
-            .range(..=start)
-            .next_back()
-            .is_some_and(|(_, &e)| e >= end)
+        let p = self.upper_bound(start);
+        p > 0 && self.v[p - 1].1 >= end
     }
 
     /// If the set covers `value`, returns the end of the covering range.
     pub fn end_of_run(&self, value: u64) -> Option<u64> {
-        self.map
-            .range(..=value)
-            .next_back()
-            .and_then(|(_, &e)| (e > value).then_some(e))
+        let p = self.upper_bound(value);
+        (p > 0 && self.v[p - 1].1 > value).then(|| self.v[p - 1].1)
     }
 
     /// Removes everything below `cutoff`.
     pub fn prune_below(&mut self, cutoff: u64) {
-        let keys: Vec<u64> = self.map.range(..cutoff).map(|(&s, _)| s).collect();
-        for s in keys {
-            let e = self.map.remove(&s).expect("key just seen");
-            if e > cutoff {
-                self.map.insert(cutoff, e);
-            }
+        let mut k = self.v.partition_point(|&(s, _)| s < cutoff);
+        if k > 0 && self.v[k - 1].1 > cutoff {
+            // Straddling range: keep its tail.
+            self.v[k - 1].0 = cutoff;
+            k -= 1;
         }
+        self.v.drain(..k);
     }
 
     /// Number of disjoint ranges.
     pub fn num_ranges(&self) -> usize {
-        self.map.len()
+        self.v.len()
     }
 
     /// Total values covered.
     pub fn covered(&self) -> u64 {
-        self.map.iter().map(|(s, e)| e - s).sum()
+        self.v.iter().map(|&(s, e)| e - s).sum()
     }
 
     /// The `n` highest ranges, highest first.
     pub fn highest(&self, n: usize) -> Vec<(u64, u64)> {
-        self.map
-            .iter()
-            .rev()
-            .take(n)
-            .map(|(&s, &e)| (s, e))
-            .collect()
+        self.iter_highest(n).collect()
+    }
+
+    /// Iterates the `n` highest ranges, highest first, without allocating
+    /// (the per-ACK SACK-generation path).
+    pub fn iter_highest(&self, n: usize) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.v.iter().rev().take(n).copied()
     }
 
     /// Iterates all ranges in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.map.iter().map(|(&s, &e)| (s, e))
+        self.v.iter().copied()
     }
 
     /// `true` if nothing is covered.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.v.is_empty()
     }
 
     /// Drops the lowest ranges until at most `cap` remain (bounds receiver
     /// memory under sustained loss; see module docs for why this is safe).
     pub fn truncate_to(&mut self, cap: usize) {
-        while self.map.len() > cap {
-            let &s = self.map.keys().next().expect("non-empty");
-            self.map.remove(&s);
+        if self.v.len() > cap {
+            let excess = self.v.len() - cap;
+            self.v.drain(..excess);
         }
     }
 }

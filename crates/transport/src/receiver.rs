@@ -6,12 +6,11 @@
 //! Every data packet is acknowledged immediately (no delayed ACKs).
 
 use crate::ranges::RangeSet;
-use mpcc_netsim::{AckHeader, Ctx, Endpoint, Header, Packet, SeqRange, ACK_SIZE};
+use mpcc_netsim::{
+    AckHeader, Ctx, Endpoint, Header, Packet, SackBlocks, SeqRange, ACK_SIZE, MAX_SACK_BLOCKS,
+};
 use mpcc_simcore::SimTime;
 use std::any::Any;
-
-/// Maximum SACK blocks carried per ACK.
-const MAX_SACK_BLOCKS: usize = 4;
 /// Bound on remembered out-of-order subflow ranges (memory cap; see
 /// `RangeSet::truncate_to` for why dropping old ranges is safe here).
 const MAX_TRACKED_RANGES: usize = 4096;
@@ -98,7 +97,7 @@ impl Endpoint for MpReceiver {
         let Some(data) = pkt.data() else {
             return;
         };
-        let data = data.clone();
+        let data = *data;
         self.stats.received_packets += 1;
         let now = ctx.now();
 
@@ -115,10 +114,9 @@ impl Endpoint for MpReceiver {
         sf.received.prune_below(sf.cum_ack.saturating_sub(1));
         sf.received.truncate_to(MAX_TRACKED_RANGES);
         let cum_ack = sf.cum_ack;
-        let sack: Vec<SeqRange> = sf
+        let sack: SackBlocks = sf
             .received
-            .highest(MAX_SACK_BLOCKS)
-            .into_iter()
+            .iter_highest(MAX_SACK_BLOCKS)
             .map(|(start, end)| SeqRange { start, end })
             .collect();
 

@@ -7,9 +7,11 @@
 //! when the retransmission timer fires.
 
 use crate::rtt::RttEstimator;
+#[cfg(test)]
+use mpcc_netsim::SackBlocks;
 use mpcc_netsim::{AckHeader, SeqRange};
 use mpcc_simcore::{SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// Packet-reordering tolerance before declaring loss, in packets.
 pub const DUPTHRESH: u64 = 3;
@@ -52,15 +54,33 @@ pub struct AckOutcome {
 }
 
 /// Per-subflow sent-packet tracking.
+///
+/// Sequence numbers are assigned monotonically by [`Scoreboard::on_send`]
+/// and never re-enter the scoreboard (a retransmission is a new send with a
+/// new sequence number), so the outstanding set lives in a `VecDeque`
+/// ordered by sequence number. Acked packets in the middle become
+/// tombstones (`None`) that are dropped once the front catches up; the
+/// cumulative-ACK hot path is a run of front pops and the SACK path a
+/// binary search — no tree-node traversal, and no allocation after warm-up
+/// thanks to the recycled [`AckOutcome`] buffer (see
+/// [`Scoreboard::recycle`]).
 #[derive(Debug, Default)]
 pub struct Scoreboard {
-    outstanding: BTreeMap<u64, SentMeta>,
+    /// `(seq, Some(meta))` in ascending `seq` order; `None` is a tombstone
+    /// for a packet already acked or lost.
+    outstanding: VecDeque<(u64, Option<SentMeta>)>,
+    /// Live (non-tombstone) entries in `outstanding`.
+    live: usize,
     next_seq: u64,
     highest_acked: Option<u64>,
     inflight_payload: u64,
     delivered_bytes: u64,
     total_lost_packets: u64,
     total_acked_packets: u64,
+    /// Recycled capacity for `AckOutcome::acked`.
+    spare: Vec<(u64, SentMeta)>,
+    /// Recycled capacity for `Scoreboard::detect_losses` results.
+    lost_spare: Vec<(u64, SentMeta)>,
 }
 
 impl Scoreboard {
@@ -74,95 +94,142 @@ impl Scoreboard {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.inflight_payload += chunk.len;
-        self.outstanding.insert(
+        self.live += 1;
+        self.outstanding.push_back((
             seq,
-            SentMeta {
+            Some(SentMeta {
                 chunk,
                 wire_size,
                 sent_at,
                 delivered_at_send: self.delivered_bytes,
-            },
-        );
+            }),
+        ));
         seq
+    }
+
+    /// Index of `seq` in `outstanding`, if tracked (live or tombstone).
+    fn idx_of(&self, seq: u64) -> Option<usize> {
+        let i = self.outstanding.partition_point(|&(s, _)| s < seq);
+        (i < self.outstanding.len() && self.outstanding[i].0 == seq).then_some(i)
+    }
+
+    /// Drops tombstones at the front so `front()` is the oldest live entry.
+    fn compact_front(&mut self) {
+        while matches!(self.outstanding.front(), Some(&(_, None))) {
+            self.outstanding.pop_front();
+        }
     }
 
     /// Processes an ACK header: marks everything covered by the cumulative
     /// ACK, the SACK blocks and the per-packet `ack_seq` as delivered.
     pub fn on_ack(&mut self, ack: &AckHeader, now: SimTime) -> AckOutcome {
-        let mut out = AckOutcome::default();
+        let mut out = AckOutcome {
+            acked: std::mem::take(&mut self.spare),
+            ..AckOutcome::default()
+        };
         // RTT sample from the triggering packet, taken before any marking
         // (the cumulative portion may also cover it).
-        if self.outstanding.contains_key(&ack.ack_seq) {
+        if self
+            .idx_of(ack.ack_seq)
+            .is_some_and(|i| self.outstanding[i].1.is_some())
+        {
             out.rtt_sample = Some(now.saturating_since(ack.echo_sent_at));
         }
-        // Cumulative portion.
-        let below: Vec<u64> = self
-            .outstanding
-            .range(..ack.cum_ack)
-            .map(|(&s, _)| s)
-            .collect();
-        for seq in below {
-            self.mark_acked(seq, &mut out);
+        // Cumulative portion: everything below `cum_ack` sits at the front.
+        while let Some(&(seq, _)) = self.outstanding.front() {
+            if seq >= ack.cum_ack {
+                break;
+            }
+            self.mark_at(0, &mut out);
+            self.outstanding.pop_front();
         }
-        // Selective blocks.
+        // Selective blocks (ascending within each block, like the
+        // cumulative portion).
         for SeqRange { start, end } in &ack.sack {
-            let covered: Vec<u64> = self
-                .outstanding
-                .range(*start..*end)
-                .map(|(&s, _)| s)
-                .collect();
-            for seq in covered {
-                self.mark_acked(seq, &mut out);
+            let mut i = self.outstanding.partition_point(|&(s, _)| s < *start);
+            while i < self.outstanding.len() && self.outstanding[i].0 < *end {
+                self.mark_at(i, &mut out);
+                i += 1;
             }
         }
         // The specific packet that triggered the ACK (always delivered,
         // since the reverse direction is lossless in the simulator).
-        self.mark_acked(ack.ack_seq, &mut out);
+        if let Some(i) = self.idx_of(ack.ack_seq) {
+            self.mark_at(i, &mut out);
+        }
         self.highest_acked = self.highest_acked.max(Some(ack.ack_seq));
         if ack.cum_ack > 0 {
             self.highest_acked = self.highest_acked.max(Some(ack.cum_ack - 1));
         }
+        self.compact_front();
         out
     }
 
-    fn mark_acked(&mut self, seq: u64, out: &mut AckOutcome) {
-        if let Some(meta) = self.outstanding.remove(&seq) {
+    /// Returns an [`AckOutcome`]'s buffer to the scoreboard so the next
+    /// [`Scoreboard::on_ack`] reuses its capacity instead of allocating.
+    pub fn recycle(&mut self, outcome: AckOutcome) {
+        let mut v = outcome.acked;
+        if v.capacity() > self.spare.capacity() {
+            v.clear();
+            self.spare = v;
+        }
+    }
+
+    /// Returns a [`Scoreboard::detect_losses`] buffer so the next loss
+    /// detection pass reuses its capacity instead of allocating.
+    pub fn recycle_lost(&mut self, mut v: Vec<(u64, SentMeta)>) {
+        if v.capacity() > self.lost_spare.capacity() {
+            v.clear();
+            self.lost_spare = v;
+        }
+    }
+
+    /// Tombstones the entry at `i` if live, crediting the ACK accounting.
+    fn mark_at(&mut self, i: usize, out: &mut AckOutcome) {
+        if let Some(meta) = self.outstanding[i].1.take() {
+            self.live -= 1;
             self.inflight_payload -= meta.chunk.len;
             self.delivered_bytes += meta.chunk.len;
             self.total_acked_packets += 1;
             out.acked_bytes += meta.chunk.len;
-            out.acked.push((seq, meta));
+            out.acked.push((self.outstanding[i].0, meta));
         }
     }
 
     /// Declares lost every outstanding packet trailing the highest
     /// acknowledgement by at least [`DUPTHRESH`]; returns them.
     pub fn detect_losses(&mut self) -> Vec<(u64, SentMeta)> {
+        let mut result = std::mem::take(&mut self.lost_spare);
         let Some(high) = self.highest_acked else {
-            return Vec::new();
+            return result;
         };
         let cutoff = high.saturating_sub(DUPTHRESH - 1);
-        let lost: Vec<u64> = self.outstanding.range(..cutoff).map(|(&s, _)| s).collect();
-        let mut result = Vec::with_capacity(lost.len());
-        for seq in lost {
-            let meta = self.outstanding.remove(&seq).expect("key just seen");
-            self.inflight_payload -= meta.chunk.len;
-            self.total_lost_packets += 1;
-            result.push((seq, meta));
+        while let Some(&(seq, _)) = self.outstanding.front() {
+            if seq >= cutoff {
+                break;
+            }
+            let (seq, slot) = self.outstanding.pop_front().expect("front just seen");
+            if let Some(meta) = slot {
+                self.live -= 1;
+                self.inflight_payload -= meta.chunk.len;
+                self.total_lost_packets += 1;
+                result.push((seq, meta));
+            }
         }
         result
     }
 
     /// Declares *everything* outstanding lost (retransmission timeout).
     pub fn on_rto(&mut self) -> Vec<(u64, SentMeta)> {
-        let all: Vec<u64> = self.outstanding.keys().copied().collect();
-        let mut result = Vec::with_capacity(all.len());
-        for seq in all {
-            let meta = self.outstanding.remove(&seq).expect("key just seen");
-            self.inflight_payload -= meta.chunk.len;
-            self.total_lost_packets += 1;
-            result.push((seq, meta));
+        let mut result = Vec::with_capacity(self.live);
+        while let Some((seq, slot)) = self.outstanding.pop_front() {
+            if let Some(meta) = slot {
+                self.inflight_payload -= meta.chunk.len;
+                self.total_lost_packets += 1;
+                result.push((seq, meta));
+            }
         }
+        self.live = 0;
         result
     }
 
@@ -173,7 +240,7 @@ impl Scoreboard {
 
     /// Outstanding packet count.
     pub fn inflight_packets(&self) -> usize {
-        self.outstanding.len()
+        self.live
     }
 
     /// Cumulative payload bytes delivered on this subflow.
@@ -198,7 +265,10 @@ impl Scoreboard {
 
     /// Metadata of the oldest outstanding packet, if any.
     pub fn oldest_outstanding(&self) -> Option<(u64, &SentMeta)> {
-        self.outstanding.iter().next().map(|(&s, m)| (s, m))
+        // The front is tombstone-free after every mutation, so this is O(1).
+        self.outstanding
+            .iter()
+            .find_map(|(s, m)| m.as_ref().map(|m| (*s, m)))
     }
 }
 
@@ -236,7 +306,7 @@ mod tests {
         AckHeader {
             subflow: 0,
             cum_ack: cum,
-            sack,
+            sack: SackBlocks::from_ranges(sack),
             ack_seq,
             echo_sent_at: SimTime::ZERO,
             data_acked: 0,

@@ -130,6 +130,9 @@ pub struct MpSender {
     done: bool,
     tracer: Tracer,
     conn_id: u64,
+    /// Reusable scheduler-input buffer (the staging loop runs per ACK and
+    /// must not allocate).
+    view_buf: Vec<scheduler::SubflowView>,
 }
 
 impl MpSender {
@@ -150,6 +153,7 @@ impl MpSender {
             done: false,
             tracer: Tracer::off(),
             conn_id: 0,
+            view_buf: Vec::new(),
         }
     }
 
@@ -268,11 +272,14 @@ impl MpSender {
         if self.done || !self.started {
             return;
         }
-        // Staging loop: one chunk per iteration.
+        // Staging loop: one chunk per iteration. The scheduler-input
+        // buffer is recycled across calls so the loop never allocates.
+        let mut views = std::mem::take(&mut self.view_buf);
         loop {
-            let views: Vec<_> = (0..self.subflows.len())
-                .map(|i| self.subflows[i].view(self.cwnd_of(i), self.rate_of(i)))
-                .collect();
+            views.clear();
+            for i in 0..self.subflows.len() {
+                views.push(self.subflows[i].view(self.cwnd_of(i), self.rate_of(i)));
+            }
             let pick = scheduler::pick(self.cfg.scheduler, &views, MSS_PAYLOAD);
             self.tracer.emit_with(Layer::Transport, ctx.now(), || {
                 let (picked, reason) = match pick {
@@ -313,6 +320,7 @@ impl MpSender {
                 self.send_one(sf, ctx);
             }
         }
+        self.view_buf = views;
         if self.rate_based {
             for sf in 0..self.subflows.len() {
                 self.arm_pacer(sf, ctx);
@@ -475,7 +483,7 @@ impl MpSender {
     }
 
     fn on_ack(&mut self, pkt: &Packet, ctx: &mut Ctx<'_>) {
-        let ack = pkt.ack().expect("sender receives ACKs").clone();
+        let ack = *pkt.ack().expect("sender receives ACKs");
         let sf = ack.subflow as usize;
         if sf >= self.subflows.len() {
             return;
@@ -571,6 +579,10 @@ impl MpSender {
             };
             self.cc.on_loss(&info);
         }
+
+        // Hand both buffers back so the next ACK reuses their capacity.
+        self.subflows[sf].scoreboard.recycle_lost(losses);
+        self.subflows[sf].scoreboard.recycle(outcome);
 
         // Data-level progress / completion.
         if self.conn.on_data_ack(ack.data_acked, ack.rcv_window, now) {
