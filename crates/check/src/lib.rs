@@ -1,0 +1,111 @@
+#![warn(missing_docs)]
+//! Runtime invariant checking for the MPCC stack.
+//!
+//! The transport, simulator, and controller call [`check`] at strategic
+//! points (end of ACK processing, MI report delivery, link admission,
+//! controller decisions). A failed check:
+//!
+//! * increments a process-wide violation counter (readable via
+//!   [`violations`], resettable via [`reset`]),
+//! * emits a typed [`CheckEvent::Violation`] through the caller's
+//!   [`Tracer`] (the `check` trace layer), and
+//! * **panics in debug builds** with the violation details, so unit tests
+//!   and debug soak runs fail fast at the exact point of corruption.
+//!
+//! Release builds only count and emit, which lets the fault-soak and
+//! golden-determinism suites run the full sweep under
+//! `--features invariants` and assert `violations() == 0` at the end.
+//!
+//! Call sites in the product crates are compiled in only under
+//! `cfg(any(debug_assertions, feature = "invariants"))`; release builds
+//! without the feature carry no checking code at all, keeping the packet
+//! path allocation-free (see `tests/alloc_free.rs`).
+//!
+//! Determinism: a *clean* run never constructs a [`CheckEvent`], draws no
+//! randomness, and schedules nothing, so enabling the checker leaves
+//! golden traces byte-identical.
+
+use mpcc_simcore::SimTime;
+use mpcc_telemetry::{CheckEvent, Tracer};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of invariant violations observed since start (or the
+/// last [`reset`]). Shared across all simulations in the process, which is
+/// what the soak suites want: "the whole sweep saw zero violations".
+static VIOLATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of invariant violations observed so far.
+pub fn violations() -> u64 {
+    VIOLATIONS.load(Ordering::Relaxed)
+}
+
+/// Resets the violation counter and returns the previous count.
+pub fn reset() -> u64 {
+    VIOLATIONS.swap(0, Ordering::Relaxed)
+}
+
+/// Records an invariant violation: counts it, emits it through `tracer`,
+/// and panics in debug builds.
+///
+/// Prefer [`check`], which only constructs the event on the cold path.
+pub fn fail(tracer: &Tracer, t: SimTime, event: CheckEvent) {
+    VIOLATIONS.fetch_add(1, Ordering::Relaxed);
+    tracer.emit(t, event);
+    if cfg!(debug_assertions) {
+        panic!("invariant violation at {t:?}: {event:?}");
+    }
+}
+
+/// Checks an invariant: if `ok` is false, builds the event with `make` and
+/// reports it via [`fail`]. The healthy path is a single branch.
+#[inline]
+pub fn check(tracer: &Tracer, t: SimTime, ok: bool, make: impl FnOnce() -> CheckEvent) {
+    if !ok {
+        fail(tracer, t, make());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcc_telemetry::{LayerMask, RingSink, TraceEvent};
+    use std::sync::Arc;
+
+    #[test]
+    fn passing_check_is_silent() {
+        let before = violations();
+        let tracer = Tracer::off();
+        check(&tracer, SimTime::ZERO, true, || {
+            panic!("event constructed on the healthy path")
+        });
+        assert_eq!(violations(), before);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "invariant violation"))]
+    fn failing_check_counts_and_emits() {
+        let sink = Arc::new(RingSink::new(8));
+        let tracer = Tracer::new(sink.clone(), LayerMask::ALL);
+        let before = violations();
+        let ev = CheckEvent::Violation {
+            invariant: "unit_test",
+            conn: 7,
+            subflow: 0,
+            observed: 2.0,
+            expected: 1.0,
+        };
+        // In debug builds this panics after counting and emitting; in
+        // release builds execution continues to the assertions below.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check(&tracer, SimTime::from_nanos(5), false, || ev);
+        }));
+        assert_eq!(violations(), before + 1);
+        let records = sink.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].event, TraceEvent::Check(ev));
+        // Re-raise so the debug-build `should_panic` expectation holds.
+        if let Err(p) = result {
+            std::panic::resume_unwind(p);
+        }
+    }
+}

@@ -125,6 +125,47 @@ impl Mpcc {
     pub fn subflow_ctl(&self, j: usize) -> &SubflowCtl {
         &self.subflows[j]
     }
+
+    /// Control-state invariants (see crates/check and DESIGN.md §12),
+    /// probed after every decision point: the commanded rate must respect
+    /// the configured bounds and the issued-MI bookkeeping queue must stay
+    /// shallow (it grows only while MIs are in flight).
+    #[cfg(any(debug_assertions, feature = "invariants"))]
+    fn check_controller(&self, subflow: usize, now: SimTime) {
+        use mpcc_telemetry::CheckEvent;
+        const MAX_ISSUED_DEPTH: usize = 512;
+        let ctl = &self.subflows[subflow];
+        let rate = ctl.rate();
+        let (lo, hi) = (self.cfg.state.min_rate, self.cfg.state.max_rate);
+        mpcc_check::check(
+            &self.tracer,
+            now,
+            (lo - 1e-9..=hi + 1e-9).contains(&rate),
+            || CheckEvent::Violation {
+                invariant: "controller_rate_bounds",
+                conn: self.conn,
+                subflow: subflow as i64,
+                observed: rate,
+                expected: if rate < lo { lo } else { hi },
+            },
+        );
+        mpcc_check::check(
+            &self.tracer,
+            now,
+            ctl.issued_len() <= MAX_ISSUED_DEPTH,
+            || CheckEvent::Violation {
+                invariant: "controller_issued_depth",
+                conn: self.conn,
+                subflow: subflow as i64,
+                observed: ctl.issued_len() as f64,
+                expected: MAX_ISSUED_DEPTH as f64,
+            },
+        );
+    }
+
+    #[cfg(not(any(debug_assertions, feature = "invariants")))]
+    #[inline(always)]
+    fn check_controller(&self, _subflow: usize, _now: SimTime) {}
 }
 
 impl MultipathCc for Mpcc {
@@ -181,6 +222,7 @@ impl MultipathCc for Mpcc {
                 subflow: subflow as u32,
                 rate_mbps: issued.rate,
             });
+        self.check_controller(subflow, now);
         Rate::from_mbps(issued.rate)
     }
 
@@ -226,6 +268,7 @@ impl MultipathCc for Mpcc {
                     }
                 });
         }
+        self.check_controller(report.subflow, report.completed_at);
     }
 
     fn on_rto(&mut self, subflow: usize, now: SimTime) {
@@ -250,6 +293,7 @@ impl MultipathCc for Mpcc {
                 subflow: subflow as u32,
                 rate_mbps: after,
             });
+        self.check_controller(subflow, now);
     }
 
     fn cwnd_bytes(&self, subflow: usize, srtt: SimDuration) -> u64 {

@@ -195,6 +195,12 @@ impl SubflowCtl {
         self.last_utility
     }
 
+    /// Number of issued-but-unreported monitor intervals (used by the
+    /// runtime invariant checker to bound pipeline depth).
+    pub fn issued_len(&self) -> usize {
+        self.issued.len()
+    }
+
     fn clamp(&self, r: f64) -> f64 {
         r.clamp(self.cfg.min_rate, self.cfg.max_rate)
     }
@@ -256,7 +262,17 @@ impl SubflowCtl {
             Phase::Probing { plan, omega, .. } => {
                 if let Some(dir) = plan.first().copied() {
                     plan.remove(0);
-                    let rate = (base_rate + dir as f64 * *omega).clamp(min_rate, max_rate);
+                    // Keep the ±ω pair fully separated even when the base
+                    // rate sits at a bound: center the pair inside
+                    // [min + ω, max − ω] (as PCC implementations do), so
+                    // the clamp can never collapse `pair_diff` to ~0 and
+                    // loop the episode inconclusive at the bound.
+                    let center = if max_rate - min_rate >= 2.0 * *omega {
+                        base_rate.clamp(min_rate + *omega, max_rate - *omega)
+                    } else {
+                        0.5 * (min_rate + max_rate)
+                    };
+                    let rate = (center + dir as f64 * *omega).clamp(min_rate, max_rate);
                     Issued {
                         purpose: Purpose::Probe { dir },
                         rate,
@@ -415,21 +431,37 @@ impl SubflowCtl {
                     self.new_probe_plan(total_published, 0, rng);
                     ReportAction::ExitedMoving
                 } else {
-                    let gradient = if (x - prev.0).abs() > 1e-9 {
+                    // When the effective rate did not move (pinned at a
+                    // clamp), there is no gradient observation: fall back
+                    // to a unit gradient but *freeze* the confidence
+                    // amplifier — confidence must not build against a
+                    // bound it cannot cross, or releasing the bound later
+                    // launches an overshooting max-confidence step.
+                    let gradient_defined = (x - prev.0).abs() > 1e-9;
+                    let gradient = if gradient_defined {
                         ((u - prev.1) / (x - prev.0)).abs()
                     } else {
                         1.0
                     };
-                    let amplifier = (amplifier + 1).min(self.cfg.max_amplifier);
+                    let amplifier = if gradient_defined {
+                        (amplifier + 1).min(self.cfg.max_amplifier)
+                    } else {
+                        amplifier
+                    };
                     let bound = self.bound_frac * total_published;
                     let step = (self.cfg.theta0 * amplifier as f64 * gradient)
                         .clamp(self.cfg.min_probe, bound.max(self.cfg.min_probe));
+                    let proposed = self.rate + dir * step;
+                    let next = self.clamp(proposed);
+                    // Reset confidence entirely when the clamp truncates
+                    // the step: the walk is restarting from the bound.
+                    let amplifier = if next != proposed { 1 } else { amplifier };
                     self.phase = Phase::Moving {
                         dir,
                         amplifier,
                         prev: (x, u),
                     };
-                    self.rate = self.clamp(self.rate + dir * step);
+                    self.rate = next;
                     // Gentle bound recovery on sustained progress.
                     self.bound_frac = (self.bound_frac * 1.1).min(self.cfg.change_bound_frac);
                     ReportAction::Moved(dir * step)
@@ -721,6 +753,100 @@ mod tests {
         assert!((omega - 5.0).abs() < 1e-9, "1% of 500 = {omega}");
         let omega_small = ctl.omega(1.0);
         assert_eq!(omega_small, cfg.min_probe);
+    }
+
+    #[test]
+    fn probe_pair_stays_separated_at_max_rate() {
+        // Pinned at max_rate, the up probe clamps onto the base rate, so
+        // without recentering the pair collapses to ω apart (or worse) and
+        // the episode loops inconclusive at the bound forever.
+        let cfg = StateConfig {
+            max_rate: 10.0,
+            ..StateConfig::default()
+        };
+        let mut ctl = SubflowCtl::new(cfg);
+        let mut r = rng();
+        ctl.rate = 10.0;
+        ctl.new_probe_plan(10.0, 0, &mut r);
+        let omega = match ctl.phase {
+            Phase::Probing { omega, .. } => omega,
+            ref p => panic!("expected Probing, got {p:?}"),
+        };
+        let (mut up, mut down) = (None, None);
+        for _ in 0..4 {
+            let issued = ctl.next_mi(0.0, 10.0, &mut r);
+            match issued.purpose {
+                Purpose::Probe { dir } if dir > 0 => up = Some(issued.rate),
+                Purpose::Probe { dir } if dir < 0 => down = Some(issued.rate),
+                p => panic!("expected a probe, got {p:?}"),
+            }
+            assert!(issued.rate <= 10.0 + 1e-9);
+            assert!(issued.rate >= cfg.min_rate - 1e-9);
+        }
+        let (up, down) = (up.expect("an up probe"), down.expect("a down probe"));
+        assert!(
+            (up - down - 2.0 * omega).abs() < 1e-9,
+            "probe pair collapsed at the bound: up {up}, down {down}, ω {omega}"
+        );
+    }
+
+    #[test]
+    fn probe_pair_stays_separated_at_min_rate() {
+        let cfg = StateConfig::default();
+        let mut ctl = SubflowCtl::new(cfg);
+        let mut r = rng();
+        ctl.rate = cfg.min_rate;
+        ctl.new_probe_plan(10.0, 0, &mut r);
+        let omega = match ctl.phase {
+            Phase::Probing { omega, .. } => omega,
+            ref p => panic!("expected Probing, got {p:?}"),
+        };
+        let (mut up, mut down) = (None, None);
+        for _ in 0..4 {
+            let issued = ctl.next_mi(0.0, 10.0, &mut r);
+            match issued.purpose {
+                Purpose::Probe { dir } if dir > 0 => up = Some(issued.rate),
+                Purpose::Probe { dir } if dir < 0 => down = Some(issued.rate),
+                p => panic!("expected a probe, got {p:?}"),
+            }
+            assert!(issued.rate >= cfg.min_rate - 1e-9);
+        }
+        let (up, down) = (up.expect("an up probe"), down.expect("a down probe"));
+        assert!(
+            (up - down - 2.0 * omega).abs() < 1e-9,
+            "probe pair collapsed at the floor: up {up}, down {down}, ω {omega}"
+        );
+    }
+
+    #[test]
+    fn amplifier_does_not_grow_while_pinned_at_clamp() {
+        // Moving upward with the rate pinned at max_rate: x never changes,
+        // so there is no gradient signal. The confidence amplifier must
+        // not keep growing against the clamp.
+        let cfg = StateConfig {
+            max_rate: 10.0,
+            ..StateConfig::default()
+        };
+        let mut ctl = SubflowCtl::new(cfg);
+        let mut r = rng();
+        ctl.rate = 10.0;
+        ctl.phase = Phase::Moving {
+            dir: 1.0,
+            amplifier: 1,
+            prev: (5.0, f64::MIN),
+        };
+        for _ in 0..10 {
+            let issued = ctl.next_mi(0.0, 10.0, &mut r);
+            ctl.on_report(good(issued.rate), 10.0, &mut r);
+        }
+        match ctl.phase {
+            Phase::Moving { amplifier, .. } => assert!(
+                amplifier <= 2,
+                "confidence built against the clamp: amplifier {amplifier}"
+            ),
+            ref p => panic!("expected to still be Moving, got {p:?}"),
+        }
+        assert!(ctl.rate() <= 10.0 + 1e-9);
     }
 
     #[test]

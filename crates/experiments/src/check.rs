@@ -1,0 +1,181 @@
+//! `experiments check`: the LMMF theory-oracle harness.
+//!
+//! Runs the small parallel-link topologies the paper's theory section
+//! reasons about (Figs. 1–3 / §4–5) to steady state on the packet-level
+//! simulator and compares the measured equilibrium against the exact
+//! lexicographic max-min fair allocation computed by
+//! [`mpcc::theory::lmmf`]. Connection totals are always checked; the
+//! per-(connection, link) split is checked only for topologies where the
+//! LMMF split is unique. Tolerances (see `DESIGN.md` §12) absorb wire
+//! overhead, probing loss and finite-run averaging noise — the oracle is a
+//! convergence check, not a bit-exact one.
+
+use crate::runner::{ConnSpec, Scenario};
+use crate::ExpConfig;
+use mpcc::theory::{lmmf_with_flows, ParallelNetSpec};
+use mpcc_netsim::LinkParams;
+use mpcc_simcore::{Rate, SimDuration};
+
+/// Relative tolerance on per-connection totals and nonzero subflow rates.
+pub const REL_TOL: f64 = 0.15;
+/// Absolute floor (Mbps) — dominates for near-zero expected rates, where a
+/// subflow still carries its probing floor.
+pub const ABS_TOL: f64 = 10.0;
+
+/// One oracle topology: a parallel-link network run with one MPCC-loss
+/// connection per `spec.conns` entry.
+struct OracleCase {
+    name: &'static str,
+    spec: ParallelNetSpec,
+    /// Whether the LMMF per-(connection, link) split is unique, making the
+    /// per-subflow rates checkable (totals are always checked).
+    check_flows: bool,
+    /// Reduced-scale run length, seconds (`--full` always runs the paper's
+    /// 200 s). Symmetric shared-link topologies drain the shared subflow
+    /// slowly and need longer than the 60 s that suffices elsewhere.
+    reduced_secs: u64,
+}
+
+fn cases() -> Vec<OracleCase> {
+    vec![
+        OracleCase {
+            // One MP connection pools two equal links (resource pooling,
+            // §4.1): unique split (100, 100).
+            name: "pool-solo",
+            spec: ParallelNetSpec {
+                capacities: vec![100.0, 100.0],
+                conns: vec![vec![0, 1]],
+            },
+            check_flows: true,
+            reduced_secs: 60,
+        },
+        OracleCase {
+            // Fig. 3c: MP on {0, 1} vs SP on {1}. LMMF gives each a full
+            // link, with the MP connection vacating the shared one.
+            name: "sp-mp-share",
+            spec: ParallelNetSpec {
+                capacities: vec![100.0, 100.0],
+                conns: vec![vec![0, 1], vec![1]],
+            },
+            check_flows: true,
+            reduced_secs: 140,
+        },
+        OracleCase {
+            // Two identical MP connections over the same two links: totals
+            // are unique (100 each) but the split is not — totals only.
+            name: "two-mp",
+            spec: ParallelNetSpec {
+                capacities: vec![100.0, 100.0],
+                conns: vec![vec![0, 1], vec![0, 1]],
+            },
+            check_flows: false,
+            reduced_secs: 60,
+        },
+        OracleCase {
+            // Asymmetric capacities: SP on a 50 Mbps link, MP on {that,
+            // 100 Mbps}. LMMF: SP keeps its whole link, MP vacates it.
+            name: "asym-sp-mp",
+            spec: ParallelNetSpec {
+                capacities: vec![50.0, 100.0],
+                conns: vec![vec![0], vec![0, 1]],
+            },
+            check_flows: true,
+            reduced_secs: 60,
+        },
+    ]
+}
+
+fn scenario_for(case: &OracleCase, cfg: &ExpConfig, idx: u64) -> Scenario {
+    let links: Vec<LinkParams> = case
+        .spec
+        .capacities
+        .iter()
+        .map(|&c| LinkParams::paper_default().with_capacity(Rate::from_mbps(c)))
+        .collect();
+    let conns: Vec<ConnSpec> = case
+        .spec
+        .conns
+        .iter()
+        .map(|ls| ConnSpec::bulk("mpcc-loss", ls.clone()))
+        .collect();
+    // Measure the last ~35 s (reduced) / 140 s (paper scale): equilibrium
+    // behaviour, not the transient.
+    let dur_secs = cfg.scale(case.reduced_secs, 200);
+    let warm_secs = dur_secs - cfg.scale(35, 140);
+    Scenario::new(cfg.seed.wrapping_add(idx), links, conns).with_duration(
+        SimDuration::from_secs(dur_secs),
+        SimDuration::from_secs(warm_secs),
+    )
+}
+
+fn within(observed: f64, expected: f64) -> bool {
+    (observed - expected).abs() <= (REL_TOL * expected).max(ABS_TOL)
+}
+
+/// Runs every oracle case and compares against the LMMF prediction.
+///
+/// Returns `Ok(report)` when every measurement is within tolerance and
+/// `Err(report)` otherwise; the report is the human-readable comparison
+/// table either way.
+pub fn run(cfg: &ExpConfig) -> Result<String, String> {
+    let cases = cases();
+    let scenarios: Vec<Scenario> = cases
+        .iter()
+        .enumerate()
+        .map(|(i, c)| scenario_for(c, cfg, i as u64))
+        .collect();
+    let warmups: Vec<_> = scenarios.iter().map(|s| s.warmup).collect();
+    let results = cfg.exec.run_batch(scenarios);
+
+    let mut out = String::new();
+    let mut failures = 0usize;
+    let mut checks = 0usize;
+    let mut line = |s: String, ok: bool, failures: &mut usize| {
+        if !ok {
+            *failures += 1;
+        }
+        out.push_str(&s);
+        out.push_str(if ok { "  ok\n" } else { "  FAIL\n" });
+    };
+
+    for (i, (case, result)) in cases.iter().zip(&results).enumerate() {
+        let (totals, flows) = lmmf_with_flows(&case.spec);
+        let warm = mpcc_simcore::SimTime::ZERO + warmups[i];
+        for (c, conn) in result.conns.iter().enumerate() {
+            checks += 1;
+            line(
+                format!(
+                    "{:<12} conn {c} total: measured {:7.2} Mbps, lmmf {:7.2} Mbps",
+                    case.name, conn.goodput_mbps, totals[c]
+                ),
+                within(conn.goodput_mbps, totals[c]),
+                &mut failures,
+            );
+            if !case.check_flows {
+                continue;
+            }
+            for (k, &l) in case.spec.conns[c].iter().enumerate() {
+                let measured = conn.subflow_series[k].mean_after(warm);
+                checks += 1;
+                line(
+                    format!(
+                        "{:<12} conn {c} link {l}: measured {:7.2} Mbps, lmmf {:7.2} Mbps",
+                        case.name, measured, flows[c][l]
+                    ),
+                    within(measured, flows[c][l]),
+                    &mut failures,
+                );
+            }
+        }
+    }
+    let verdict = format!(
+        "theory oracle: {}/{checks} checks within tolerance (rel {REL_TOL}, abs {ABS_TOL} Mbps)",
+        checks - failures
+    );
+    out.push_str(&verdict);
+    if failures == 0 {
+        Ok(out)
+    } else {
+        Err(out)
+    }
+}

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod check;
 pub mod output;
 pub mod protocols;
 pub mod runner;

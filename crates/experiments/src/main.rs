@@ -5,6 +5,7 @@
 //! [--bench-reps N] [--bench-check FILE] [--bench-baseline NAME:EPS]`.
 
 use mpcc_experiments::bench::{self, BenchConfig};
+use mpcc_experiments::check;
 use mpcc_experiments::runner::{Executor, TraceConfig};
 use mpcc_experiments::scenarios::{self, ALL};
 use mpcc_experiments::ExpConfig;
@@ -20,6 +21,7 @@ fn main() {
     let mut trace_mask = LayerMask::ALL;
     let mut faults = FaultPlan::NONE;
     let mut bench_mode = false;
+    let mut check_mode = false;
     let mut bench_cfg = BenchConfig::default();
     let mut bench_check: Option<String> = None;
     let mut bench_baseline: Option<(String, f64)> = None;
@@ -101,12 +103,34 @@ fn main() {
                 println!("available experiments: {}", ALL.join(" "));
                 return;
             }
+            "check" => check_mode = true,
             "all" => ids.extend(ALL.iter().map(|s| s.to_string())),
             id => ids.push(id.to_string()),
         }
     }
     if bench_mode {
         run_bench_mode(&cfg, bench_cfg, bench_check, bench_baseline);
+        return;
+    }
+    if check_mode {
+        let trace = trace_path.map(|p| TraceConfig {
+            path: p.into(),
+            mask: trace_mask,
+        });
+        cfg.exec = Executor::new(jobs, trace);
+        eprintln!(
+            ">>> running theory-oracle check (full={}, seed={}, jobs={})",
+            cfg.full,
+            cfg.seed,
+            cfg.exec.jobs()
+        );
+        match check::run(&cfg) {
+            Ok(report) => println!("{report}"),
+            Err(report) => {
+                eprintln!("{report}");
+                std::process::exit(1);
+            }
+        }
         return;
     }
     if ids.is_empty() {

@@ -218,6 +218,23 @@ impl Link {
         self.queue.len()
     }
 
+    /// Invariant probe (see crates/check): the droptail bound. Returns
+    /// `Some((queued_bytes, buffer))` when the queue exceeds the buffer.
+    /// Only meaningful right after a successful admission — a mid-run
+    /// buffer shrink via [`Link::set_params`] may legitimately leave old
+    /// bytes above the new bound until the queue drains.
+    pub fn queue_bound_violation(&self) -> Option<(u64, u64)> {
+        (self.queued_bytes > self.params.buffer).then_some((self.queued_bytes, self.params.buffer))
+    }
+
+    /// Invariant probe: the cached byte counter against the actual queue
+    /// contents (O(queue length) — callers sample). Returns
+    /// `Some((cached, actual))` when they disagree.
+    pub fn queue_accounting_violation(&self) -> Option<(u64, u64)> {
+        let actual: u64 = self.queue.iter().map(|p| p.size).sum();
+        (actual != self.queued_bytes).then_some((self.queued_bytes, actual))
+    }
+
     /// Offers `pkt` to the link at time `now`.
     ///
     /// The caller must schedule a serialization-completion event at the time

@@ -164,6 +164,7 @@ impl<'a> Ctx<'a> {
         let bytes = pkt.size;
         let admission = link.admit(pkt, self.now, rng);
         trace_admission(self.tracer, self.now, link_id, bytes, link, &admission);
+        check_admission(self.tracer, self.now, link_id, link, &admission);
         if let Admission::StartTx(done) = admission {
             self.events.schedule(done, Event::TxComplete(link_id));
         }
@@ -205,6 +206,50 @@ fn trace_admission(
         },
     });
 }
+
+/// Link-layer invariants (see crates/check and DESIGN.md §12), probed after
+/// each *successful* admission: the droptail bound and (sampled) the queue
+/// byte-accounting. Drops are exempt because a mid-run buffer shrink via
+/// `LinkChange` may legitimately leave the queue above the new bound.
+#[cfg(any(debug_assertions, feature = "invariants"))]
+fn check_admission(tracer: &Tracer, now: SimTime, link_id: LinkId, link: &Link, adm: &Admission) {
+    use mpcc_telemetry::CheckEvent;
+    if matches!(adm, Admission::Dropped(_)) {
+        return;
+    }
+    if let Some((observed, expected)) = link.queue_bound_violation() {
+        mpcc_check::fail(
+            tracer,
+            now,
+            CheckEvent::Violation {
+                invariant: "link_queue_bound",
+                conn: link_id.0 as u64,
+                subflow: -1,
+                observed: observed as f64,
+                expected: expected as f64,
+            },
+        );
+    }
+    if link.stats().enqueued.is_multiple_of(64) {
+        if let Some((cached, actual)) = link.queue_accounting_violation() {
+            mpcc_check::fail(
+                tracer,
+                now,
+                CheckEvent::Violation {
+                    invariant: "link_queue_accounting",
+                    conn: link_id.0 as u64,
+                    subflow: -1,
+                    observed: cached as f64,
+                    expected: actual as f64,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(not(any(debug_assertions, feature = "invariants")))]
+#[inline(always)]
+fn check_admission(_: &Tracer, _: SimTime, _: LinkId, _: &Link, _: &Admission) {}
 
 /// The top-level simulator: owns links, paths, endpoints and the event loop.
 pub struct Simulation {
@@ -491,6 +536,7 @@ impl Simulation {
         let bytes = pkt.size;
         let admission = link.admit(pkt, self.now, rng);
         trace_admission(&self.tracer, self.now, link_id, bytes, link, &admission);
+        check_admission(&self.tracer, self.now, link_id, link, &admission);
         if let Admission::StartTx(done) = admission {
             self.events.schedule(done, Event::TxComplete(link_id));
         }

@@ -17,6 +17,8 @@ pub enum Layer {
     Transport,
     /// Network links: queueing, drops, occupancy.
     Link,
+    /// Runtime invariant checker: violations only (clean runs are silent).
+    Check,
 }
 
 impl Layer {
@@ -26,6 +28,7 @@ impl Layer {
             Layer::Controller => "controller",
             Layer::Transport => "transport",
             Layer::Link => "link",
+            Layer::Check => "check",
         }
     }
 }
@@ -37,7 +40,7 @@ pub struct LayerMask(u8);
 
 impl LayerMask {
     /// Record every layer.
-    pub const ALL: LayerMask = LayerMask(0b111);
+    pub const ALL: LayerMask = LayerMask(0b1111);
     /// Record nothing.
     pub const NONE: LayerMask = LayerMask(0);
 
@@ -65,6 +68,7 @@ impl LayerMask {
                 "controller" => mask.with(Layer::Controller),
                 "transport" => mask.with(Layer::Transport),
                 "link" => mask.with(Layer::Link),
+                "check" => mask.with(Layer::Check),
                 "all" => LayerMask::ALL,
                 other => return Err(format!("unknown trace layer {other:?}")),
             };
@@ -77,6 +81,7 @@ impl LayerMask {
             Layer::Controller => 0b001,
             Layer::Transport => 0b010,
             Layer::Link => 0b100,
+            Layer::Check => 0b1000,
         }
     }
 }
@@ -292,6 +297,29 @@ pub enum LinkEvent {
     },
 }
 
+/// Events emitted by the runtime invariant checker (`mpcc-check`).
+///
+/// Clean runs never construct one of these: the checker is silent unless
+/// an invariant actually fails, so enabling the check layer leaves traces
+/// byte-identical on healthy scenarios.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CheckEvent {
+    /// A runtime invariant did not hold.
+    Violation {
+        /// Name of the violated invariant (static catalog label, e.g.
+        /// `"scoreboard_conservation"`).
+        invariant: &'static str,
+        /// Sender endpoint id, or the link id for link-layer invariants.
+        conn: u64,
+        /// Sender-local subflow index, or -1 when not applicable.
+        subflow: i64,
+        /// The value the checker observed.
+        observed: f64,
+        /// The bound or value the invariant required.
+        expected: f64,
+    },
+}
+
 /// Any event from any layer.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum TraceEvent {
@@ -301,6 +329,8 @@ pub enum TraceEvent {
     Transport(TransportEvent),
     /// Link-layer event.
     Link(LinkEvent),
+    /// Invariant-checker event.
+    Check(CheckEvent),
 }
 
 impl From<ControllerEvent> for TraceEvent {
@@ -316,6 +346,11 @@ impl From<TransportEvent> for TraceEvent {
 impl From<LinkEvent> for TraceEvent {
     fn from(e: LinkEvent) -> Self {
         TraceEvent::Link(e)
+    }
+}
+impl From<CheckEvent> for TraceEvent {
+    fn from(e: CheckEvent) -> Self {
+        TraceEvent::Check(e)
     }
 }
 
@@ -388,6 +423,7 @@ impl TraceEvent {
             TraceEvent::Controller(_) => Layer::Controller,
             TraceEvent::Transport(_) => Layer::Transport,
             TraceEvent::Link(_) => Layer::Link,
+            TraceEvent::Check(_) => Layer::Check,
         }
     }
 
@@ -418,6 +454,9 @@ impl TraceEvent {
                 LinkEvent::FaultDuplicate { .. } => "fault_duplicate",
                 LinkEvent::QueueSample { .. } => "queue_sample",
                 LinkEvent::ClockClamp { .. } => "clock_clamp",
+            },
+            TraceEvent::Check(e) => match e {
+                CheckEvent::Violation { .. } => "check_violation",
             },
         }
     }
@@ -586,6 +625,21 @@ impl TraceEvent {
                 ],
                 LinkEvent::ClockClamp { count } => vec![("count", U64(count))],
             },
+            TraceEvent::Check(e) => match *e {
+                CheckEvent::Violation {
+                    invariant,
+                    conn,
+                    subflow,
+                    observed,
+                    expected,
+                } => vec![
+                    ("invariant", Str(invariant)),
+                    ("conn", U64(conn)),
+                    ("subflow", I64(subflow)),
+                    ("observed", F64(observed)),
+                    ("expected", F64(expected)),
+                ],
+            },
         }
     }
 }
@@ -685,6 +739,29 @@ mod tests {
              \"conn\":1,\"subflow\":0,\"goodput_mbps\":93.5,\"loss_rate\":0.0,\
              \"utility\":null,\"action\":\"ignored\"}"
         );
+    }
+
+    #[test]
+    fn check_violation_serializes() {
+        let rec = Record {
+            t: SimTime::from_nanos(42),
+            event: CheckEvent::Violation {
+                invariant: "mi_resolution",
+                conn: 2,
+                subflow: 1,
+                observed: 5.0,
+                expected: 4.0,
+            }
+            .into(),
+        };
+        assert_eq!(
+            rec.to_jsonl(),
+            "{\"t_ns\":42,\"layer\":\"check\",\"type\":\"check_violation\",\
+             \"invariant\":\"mi_resolution\",\"conn\":2,\"subflow\":1,\
+             \"observed\":5.0,\"expected\":4.0}"
+        );
+        assert!(LayerMask::ALL.contains(Layer::Check));
+        assert!(LayerMask::parse("check").unwrap().contains(Layer::Check));
     }
 
     #[test]

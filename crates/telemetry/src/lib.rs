@@ -26,6 +26,8 @@ pub mod event;
 pub mod sink;
 pub mod stats;
 
-pub use event::{ControllerEvent, Layer, LayerMask, LinkEvent, Record, TraceEvent, TransportEvent};
+pub use event::{
+    CheckEvent, ControllerEvent, Layer, LayerMask, LinkEvent, Record, TraceEvent, TransportEvent,
+};
 pub use sink::{CsvSink, JsonlSink, NullSink, RingSink, TraceSink, Tracer};
 pub use stats::{Counter, Histogram, StatsReport, StatsSink};

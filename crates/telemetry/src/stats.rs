@@ -345,6 +345,9 @@ impl TraceSink for StatsSink {
                     LinkEvent::ClockClamp { .. } => unreachable!(),
                 }
             }
+            // Violations are counted by `mpcc-check` itself; the stats
+            // aggregator has nothing to add per-entity.
+            TraceEvent::Check(_) => {}
         }
     }
 }

@@ -9,8 +9,13 @@
 //! Vivace.
 
 use crate::controller::MiReport;
+use crate::ranges::RangeSet;
 use mpcc_simcore::{Rate, SimDuration, SimTime};
 use std::collections::VecDeque;
+
+/// How many spent per-MI resolution sets the tracker keeps for reuse, so
+/// the steady-state MI cycle stops allocating once warmed up.
+const SPARE_SETS: usize = 8;
 
 /// One monitor interval's accumulating state.
 #[derive(Clone, Debug)]
@@ -35,6 +40,10 @@ struct Mi {
     sxx: f64,
     sxy: f64,
     app_limited: bool,
+    /// Sequence numbers already resolved (acked or lost) within this
+    /// interval. A packet declared lost by dupthresh and later acked by a
+    /// late SACK must count exactly once, or `acked + lost` exceeds `sent`.
+    resolved_seqs: RangeSet,
 }
 
 impl Mi {
@@ -48,6 +57,16 @@ impl Mi {
 
     fn resolved(&self) -> bool {
         self.seq_end.is_some() && self.acked + self.lost >= self.sent
+    }
+
+    /// Claims `seq` for resolution; returns `false` if the interval has
+    /// already counted this sequence number (first resolution wins).
+    fn claim(&mut self, seq: u64) -> bool {
+        if self.resolved_seqs.contains(seq) {
+            return false;
+        }
+        self.resolved_seqs.insert(seq, seq + 1);
+        true
     }
 
     fn report(&self, subflow: usize, now: SimTime) -> MiReport {
@@ -108,6 +127,8 @@ pub struct MiTracker {
     current: Option<Mi>,
     pending: VecDeque<Mi>,
     next_id: u64,
+    /// Recycled resolution sets from reported intervals (see [`SPARE_SETS`]).
+    spare: Vec<RangeSet>,
 }
 
 impl MiTracker {
@@ -139,6 +160,7 @@ impl MiTracker {
             sxx: 0.0,
             sxy: 0.0,
             app_limited: false,
+            resolved_seqs: self.spare.pop().unwrap_or_default(),
         });
         id
     }
@@ -181,6 +203,9 @@ impl MiTracker {
     /// RTT `rtt`, carrying `bytes` of payload).
     pub fn on_acked(&mut self, seq: u64, sent_at: SimTime, rtt: SimDuration, bytes: u64) {
         if let Some(mi) = self.find_mut(seq) {
+            if !mi.claim(seq) {
+                return;
+            }
             mi.acked += 1;
             mi.acked_bytes += bytes;
             let x = sent_at.saturating_since(mi.start).as_secs_f64();
@@ -196,6 +221,9 @@ impl MiTracker {
     /// Records a loss of `seq`.
     pub fn on_lost(&mut self, seq: u64) {
         if let Some(mi) = self.find_mut(seq) {
+            if !mi.claim(seq) {
+                return;
+            }
             mi.lost += 1;
         }
     }
@@ -216,8 +244,12 @@ impl MiTracker {
         let mut out = Vec::new();
         while let Some(front) = self.pending.front() {
             if front.resolved() {
-                let mi = self.pending.pop_front().expect("front exists");
+                let mut mi = self.pending.pop_front().expect("front exists");
                 out.push(mi.report(subflow, now));
+                if self.spare.len() < SPARE_SETS {
+                    mi.resolved_seqs.clear();
+                    self.spare.push(mi.resolved_seqs);
+                }
             } else {
                 break;
             }
@@ -388,6 +420,62 @@ mod tests {
         assert!(reports[1].app_limited);
         assert_eq!(reports[1].sent_packets, 0);
         assert!(!reports[0].app_limited && !reports[2].app_limited);
+    }
+
+    #[test]
+    fn lost_then_acked_packet_resolves_once() {
+        let mut t = MiTracker::new();
+        t.begin(Rate::from_mbps(10.0), SimTime::ZERO, 0);
+        for seq in 0..4 {
+            t.on_sent(seq);
+        }
+        t.begin(Rate::from_mbps(10.0), SimTime::from_millis(100), 4);
+        // Seq 0 crosses dupthresh and is declared lost, then a late SACK
+        // acks it anyway (spurious loss). It must count exactly once — as
+        // lost, matching the scoreboard's view.
+        t.on_lost(0);
+        t.on_acked(0, SimTime::ZERO, SimDuration::from_millis(50), 1448);
+        for seq in 1..4 {
+            t.on_acked(
+                seq,
+                SimTime::from_millis(seq),
+                SimDuration::from_millis(50),
+                1448,
+            );
+        }
+        let reports = t.poll_completed(0, SimTime::from_millis(200));
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.sent_packets, 4);
+        assert_eq!(r.acked_packets, 3, "late SACK must not double-resolve");
+        assert_eq!(r.lost_packets, 1);
+        assert!(r.acked_packets + r.lost_packets <= r.sent_packets);
+        assert_eq!(r.acked_bytes, 3 * 1448, "acked bytes double-credited");
+        assert!((r.loss_rate - 0.25).abs() < 1e-12, "{}", r.loss_rate);
+    }
+
+    #[test]
+    fn acked_then_lost_packet_resolves_once() {
+        let mut t = MiTracker::new();
+        t.begin(Rate::from_mbps(10.0), SimTime::ZERO, 0);
+        for seq in 0..2 {
+            t.on_sent(seq);
+        }
+        t.begin(Rate::from_mbps(10.0), SimTime::from_millis(100), 2);
+        // The mirror ordering: acked first, then a (stale) loss signal.
+        t.on_acked(0, SimTime::ZERO, SimDuration::from_millis(50), 1448);
+        t.on_lost(0);
+        t.on_acked(
+            1,
+            SimTime::from_millis(1),
+            SimDuration::from_millis(50),
+            1448,
+        );
+        let reports = t.poll_completed(0, SimTime::from_millis(200));
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].acked_packets, 2);
+        assert_eq!(reports[0].lost_packets, 0);
+        assert_eq!(reports[0].loss_rate, 0.0);
     }
 
     #[test]

@@ -138,6 +138,18 @@ impl RangeSet {
             self.v.drain(..excess);
         }
     }
+
+    /// Empties the set, retaining capacity (for recycled per-MI sets).
+    pub fn clear(&mut self) {
+        self.v.clear();
+    }
+
+    /// `true` if the backing vector upholds the structural invariant:
+    /// non-empty ranges, sorted ascending, disjoint and non-adjacent.
+    /// Used by the runtime invariant checker; O(n).
+    pub fn is_well_formed(&self) -> bool {
+        self.v.iter().all(|&(s, e)| s < e) && self.v.windows(2).all(|w| w[0].1 < w[1].0)
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +237,19 @@ mod tests {
         assert_eq!(rs.num_ranges(), 3);
         assert!(rs.contains(90));
         assert!(!rs.contains(0));
+    }
+
+    #[test]
+    fn clear_and_well_formedness() {
+        let mut rs = RangeSet::new();
+        rs.insert(0, 5);
+        rs.insert(10, 15);
+        assert!(rs.is_well_formed());
+        rs.clear();
+        assert!(rs.is_empty());
+        assert!(rs.is_well_formed());
+        rs.insert(3, 4);
+        assert!(rs.contains(3));
     }
 
     #[test]

@@ -88,6 +88,80 @@ impl MpReceiver {
     fn advertised_window(&self) -> u64 {
         self.buffer.saturating_sub(self.oo.covered())
     }
+
+    /// Receive-path invariants (see crates/check and DESIGN.md §12): DSN
+    /// frontier monotonicity, the cumulative ACK and the frontier each
+    /// sitting exactly at the first gap of their sequence space, and a
+    /// sampled structural scan of both range sets.
+    #[cfg(any(debug_assertions, feature = "invariants"))]
+    fn check_receive(
+        &self,
+        tracer: &mpcc_telemetry::Tracer,
+        now: SimTime,
+        conn: u64,
+        sf_idx: usize,
+        prev_frontier: u64,
+    ) {
+        use mpcc_telemetry::CheckEvent;
+        mpcc_check::check(tracer, now, self.frontier >= prev_frontier, || {
+            CheckEvent::Violation {
+                invariant: "dsn_frontier_monotone",
+                conn,
+                subflow: sf_idx as i64,
+                observed: self.frontier as f64,
+                expected: prev_frontier as f64,
+            }
+        });
+        let sf = &self.sfs[sf_idx];
+        // `cum_ack` is the next expected sequence number: it must not be
+        // covered by the received set, or the run-extension logic failed.
+        mpcc_check::check(tracer, now, !sf.received.contains(sf.cum_ack), || {
+            CheckEvent::Violation {
+                invariant: "cum_ack_at_gap",
+                conn,
+                subflow: sf_idx as i64,
+                observed: sf.cum_ack as f64,
+                expected: sf.cum_ack as f64 + 1.0,
+            }
+        });
+        mpcc_check::check(tracer, now, !self.oo.contains(self.frontier), || {
+            CheckEvent::Violation {
+                invariant: "frontier_at_gap",
+                conn,
+                subflow: -1,
+                observed: self.frontier as f64,
+                expected: self.frontier as f64 + 1.0,
+            }
+        });
+        // O(num_ranges) structural scan, sampled: the sets are tiny in the
+        // common case but can hold thousands of ranges under heavy loss.
+        if self.stats.received_packets.is_multiple_of(64) {
+            mpcc_check::check(
+                tracer,
+                now,
+                sf.received.is_well_formed() && self.oo.is_well_formed(),
+                || CheckEvent::Violation {
+                    invariant: "rangeset_well_formed",
+                    conn,
+                    subflow: sf_idx as i64,
+                    observed: 0.0,
+                    expected: 1.0,
+                },
+            );
+        }
+    }
+
+    #[cfg(not(any(debug_assertions, feature = "invariants")))]
+    #[inline(always)]
+    fn check_receive(
+        &self,
+        _tracer: &mpcc_telemetry::Tracer,
+        _now: SimTime,
+        _conn: u64,
+        _sf_idx: usize,
+        _prev_frontier: u64,
+    ) {
+    }
 }
 
 impl Endpoint for MpReceiver {
@@ -100,6 +174,7 @@ impl Endpoint for MpReceiver {
         let data = *data;
         self.stats.received_packets += 1;
         let now = ctx.now();
+        let prev_frontier = self.frontier;
 
         // Subflow-level sequence tracking for (S)ACK generation. A packet
         // whose subflow sequence number was already received is a wire-level
@@ -136,6 +211,14 @@ impl Endpoint for MpReceiver {
             }
             self.oo.prune_below(self.frontier);
         }
+
+        self.check_receive(
+            ctx.tracer(),
+            now,
+            ctx.self_id().0 as u64,
+            data.subflow as usize,
+            prev_frontier,
+        );
 
         let ack = AckHeader {
             subflow: data.subflow,

@@ -270,6 +270,51 @@ impl Scoreboard {
             .iter()
             .find_map(|(s, m)| m.as_ref().map(|m| (*s, m)))
     }
+
+    /// O(1) conservation law over the whole sequence space: every assigned
+    /// sequence number is in exactly one of {acked, lost, live outstanding}
+    /// — so the three counts must sum to `next_seq`. Returns
+    /// `(observed_sum, next_seq)` on violation. Used by the runtime
+    /// invariant checker after every ACK and RTO.
+    pub fn conservation_violation(&self) -> Option<(u64, u64)> {
+        let observed = self.total_acked_packets + self.total_lost_packets + self.live as u64;
+        (observed != self.next_seq).then_some((observed, self.next_seq))
+    }
+
+    /// O(n) structural scan of the outstanding queue: sequence numbers
+    /// strictly ascending, the cached `live` count matching the actual
+    /// non-tombstone entries, and `inflight_payload` matching the sum of
+    /// live chunk lengths. Returns `(invariant, observed, expected)` on
+    /// the first violation. Used (sampled) by the runtime invariant
+    /// checker; too expensive to run per-ACK.
+    pub fn deep_violation(&self) -> Option<(&'static str, f64, f64)> {
+        let mut live = 0usize;
+        let mut payload = 0u64;
+        let mut prev: Option<u64> = None;
+        for &(seq, ref slot) in &self.outstanding {
+            if let Some(p) = prev {
+                if seq <= p {
+                    return Some(("scoreboard_seq_order", seq as f64, (p + 1) as f64));
+                }
+            }
+            prev = Some(seq);
+            if let Some(meta) = slot {
+                live += 1;
+                payload += meta.chunk.len;
+            }
+        }
+        if live != self.live {
+            return Some(("scoreboard_live_count", self.live as f64, live as f64));
+        }
+        if payload != self.inflight_payload {
+            return Some((
+                "scoreboard_inflight_payload",
+                self.inflight_payload as f64,
+                payload as f64,
+            ));
+        }
+        None
+    }
 }
 
 /// Computes a delivery-rate (bandwidth) sample for an acked packet, as BBR
@@ -483,6 +528,33 @@ mod tests {
         // And the late cum_ack does not re-trigger loss on packet 4.
         assert!(sb.detect_losses().is_empty());
         assert_eq!(sb.inflight_packets(), 1);
+    }
+
+    #[test]
+    fn conservation_and_deep_scan_hold_across_lifecycle() {
+        let mut sb = Scoreboard::new();
+        assert!(sb.conservation_violation().is_none());
+        for i in 0..8 {
+            sb.on_send(chunk(i * 1448), 1500, SimTime::ZERO);
+            assert!(sb.conservation_violation().is_none());
+        }
+        sb.on_ack(
+            &ack(5, 2, vec![SeqRange { start: 4, end: 6 }]),
+            SimTime::from_millis(30),
+        );
+        assert!(sb.conservation_violation().is_none());
+        assert!(sb.deep_violation().is_none());
+        sb.detect_losses();
+        assert!(sb.conservation_violation().is_none());
+        assert!(sb.deep_violation().is_none());
+        sb.on_rto();
+        assert!(sb.conservation_violation().is_none());
+        assert!(sb.deep_violation().is_none());
+        // Corrupt the cached live count: both checks must notice.
+        sb.on_send(chunk(0), 1500, SimTime::ZERO);
+        sb.live += 1;
+        assert!(sb.conservation_violation().is_some());
+        assert!(sb.deep_violation().is_some());
     }
 
     #[test]

@@ -133,6 +133,10 @@ pub struct MpSender {
     /// Reusable scheduler-input buffer (the staging loop runs per ACK and
     /// must not allocate).
     view_buf: Vec<scheduler::SubflowView>,
+    /// Invariant-check cadence counter: the O(n) scoreboard deep scan runs
+    /// every 64th check call, the O(1) conservation law on every call.
+    #[cfg(any(debug_assertions, feature = "invariants"))]
+    check_tick: u64,
 }
 
 impl MpSender {
@@ -154,6 +158,8 @@ impl MpSender {
             tracer: Tracer::off(),
             conn_id: 0,
             view_buf: Vec::new(),
+            #[cfg(any(debug_assertions, feature = "invariants"))]
+            check_tick: 0,
         }
     }
 
@@ -249,9 +255,101 @@ impl MpSender {
 
     fn deliver_mi_reports(&mut self, sf: usize, now: SimTime) {
         for report in self.subflows[sf].mi.poll_completed(sf, now) {
+            self.check_mi_report(&report, now);
             self.cc.on_mi_complete(&report);
         }
     }
+
+    // ------------------------------------------------------------------
+    // Runtime invariant checks (compiled in debug builds and under the
+    // `invariants` feature; empty inline no-ops otherwise). See
+    // crates/check and DESIGN.md §12 for the invariant catalog.
+    // ------------------------------------------------------------------
+
+    /// Scoreboard invariants for `sf`: the O(1) conservation law — every
+    /// assigned sequence number is in exactly one of {acked, lost, live
+    /// outstanding} — on every call, plus an O(n) structural deep scan
+    /// every 64th call.
+    #[cfg(any(debug_assertions, feature = "invariants"))]
+    fn check_subflow(&mut self, sf: usize, now: SimTime) {
+        use mpcc_telemetry::CheckEvent;
+        let sb = &self.subflows[sf].scoreboard;
+        if let Some((observed, expected)) = sb.conservation_violation() {
+            mpcc_check::fail(
+                &self.tracer,
+                now,
+                CheckEvent::Violation {
+                    invariant: "scoreboard_conservation",
+                    conn: self.conn_id,
+                    subflow: sf as i64,
+                    observed: observed as f64,
+                    expected: expected as f64,
+                },
+            );
+        }
+        self.check_tick = self.check_tick.wrapping_add(1);
+        if self.check_tick.is_multiple_of(64) {
+            if let Some((invariant, observed, expected)) =
+                self.subflows[sf].scoreboard.deep_violation()
+            {
+                mpcc_check::fail(
+                    &self.tracer,
+                    now,
+                    CheckEvent::Violation {
+                        invariant,
+                        conn: self.conn_id,
+                        subflow: sf as i64,
+                        observed,
+                        expected,
+                    },
+                );
+            }
+        }
+    }
+
+    #[cfg(not(any(debug_assertions, feature = "invariants")))]
+    #[inline(always)]
+    fn check_subflow(&mut self, _sf: usize, _now: SimTime) {}
+
+    /// Per-MI accounting invariants: at most one resolution per packet
+    /// (`acked + lost ≤ sent`) and goodput bounded by the commanded rate
+    /// (×1.05, plus two packets of pacing slack at interval boundaries).
+    #[cfg(any(debug_assertions, feature = "invariants"))]
+    fn check_mi_report(&self, report: &crate::controller::MiReport, now: SimTime) {
+        use mpcc_telemetry::CheckEvent;
+        if report.acked_packets + report.lost_packets > report.sent_packets {
+            mpcc_check::fail(
+                &self.tracer,
+                now,
+                CheckEvent::Violation {
+                    invariant: "mi_resolution",
+                    conn: self.conn_id,
+                    subflow: report.subflow as i64,
+                    observed: (report.acked_packets + report.lost_packets) as f64,
+                    expected: report.sent_packets as f64,
+                },
+            );
+        }
+        let commanded = report.rate.bytes_in(report.duration);
+        let bound = commanded * 1.05 + 2.0 * MSS_PAYLOAD as f64;
+        if report.acked_bytes as f64 > bound {
+            mpcc_check::fail(
+                &self.tracer,
+                now,
+                CheckEvent::Violation {
+                    invariant: "mi_goodput_bound",
+                    conn: self.conn_id,
+                    subflow: report.subflow as i64,
+                    observed: report.acked_bytes as f64,
+                    expected: bound,
+                },
+            );
+        }
+    }
+
+    #[cfg(not(any(debug_assertions, feature = "invariants")))]
+    #[inline(always)]
+    fn check_mi_report(&self, _report: &crate::controller::MiReport, _now: SimTime) {}
 
     fn cwnd_of(&self, sf: usize) -> u64 {
         let srtt = self.subflows[sf].srtt();
@@ -475,6 +573,7 @@ impl MpSender {
         self.subflows[sf].rto_backoff = (self.subflows[sf].rto_backoff * 2).min(16);
         self.subflows[sf].recovery_until = self.subflows[sf].scoreboard.next_seq();
         self.cc.on_rto(sf, now);
+        self.check_subflow(sf, now);
         if self.uses_mi {
             self.deliver_mi_reports(sf, now);
         }
@@ -583,6 +682,8 @@ impl MpSender {
         // Hand both buffers back so the next ACK reuses their capacity.
         self.subflows[sf].scoreboard.recycle_lost(losses);
         self.subflows[sf].scoreboard.recycle(outcome);
+
+        self.check_subflow(sf, now);
 
         // Data-level progress / completion.
         if self.conn.on_data_ack(ack.data_acked, ack.rcv_window, now) {

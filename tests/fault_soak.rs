@@ -126,6 +126,7 @@ fn scenario(case: &Case) -> Scenario {
 
 #[test]
 fn soak_sweep_holds_invariants_and_is_deterministic() {
+    mpcc_check::reset();
     let cases = cases();
     let jobs = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -210,6 +211,16 @@ fn soak_sweep_holds_invariants_and_is_deterministic() {
             "{id}: link counters differ across identical-seed runs"
         );
     }
+
+    // The runtime invariant layer (crates/check) watched every run above;
+    // a clean sweep must not trip a single cross-layer check. (In debug
+    // builds a violation panics at the fault site instead; this assertion
+    // is what release runs with `--features invariants` rely on.)
+    assert_eq!(
+        mpcc_check::violations(),
+        0,
+        "runtime invariant violations during the soak sweep"
+    );
 }
 
 /// A faulted, traced batch through the executor: the merged trace is
@@ -219,6 +230,7 @@ fn soak_sweep_holds_invariants_and_is_deterministic() {
 /// exact `--faults` CLI path.
 #[test]
 fn faulted_traces_are_byte_identical_at_any_worker_count() {
+    mpcc_check::reset();
     let spec = "reorder:p=0.1,extra=10ms;dup:p=0.08,extra=2ms;\
                 burst:enter=0.01,exit=0.3,loss=0.6;outage:at=1s,down=500ms";
     let faults = FaultPlan::parse(spec).expect("CLI spec parses");
@@ -280,5 +292,10 @@ fn faulted_traces_are_byte_identical_at_any_worker_count() {
             "no {kind} event in the merged trace"
         );
     }
+    assert_eq!(
+        mpcc_check::violations(),
+        0,
+        "runtime invariant violations during the traced batch"
+    );
     let _ = fs::remove_dir_all(&dir);
 }

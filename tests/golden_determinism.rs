@@ -110,6 +110,7 @@ fn run_with(jobs: usize, dir: &Path, name: &str) -> (Vec<u8>, String) {
 
 #[test]
 fn faulted_run_matches_committed_golden() {
+    mpcc_check::reset();
     let dir = std::env::temp_dir().join(format!("mpcc-golden-{}", std::process::id()));
     fs::create_dir_all(&dir).unwrap();
 
@@ -120,6 +121,14 @@ fn faulted_run_matches_committed_golden() {
     assert!(!serial.is_empty(), "traced run must emit records");
     assert_eq!(serial, parallel, "trace differs between 1 and 4 workers");
     assert_eq!(summary, summary4, "results differ between 1 and 4 workers");
+    // A clean scenario must not trip the runtime invariant layer — and,
+    // because violations emit `check` trace records, any that fired would
+    // also shift the digest below.
+    assert_eq!(
+        mpcc_check::violations(),
+        0,
+        "runtime invariant violations during the golden runs"
+    );
 
     let actual = format!(
         "trace_fnv1a64={:#018x}\ntrace_bytes={}\ntrace_lines={}\n{summary}",
