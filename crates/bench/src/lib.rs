@@ -13,7 +13,7 @@
 
 use mpcc_netsim::link::LinkParams;
 use mpcc_netsim::topology::uniform_parallel_links;
-use mpcc_simcore::{SimDuration, SimTime};
+use mpcc_simcore::{ProfileReport, SimDuration, SimTime};
 use mpcc_transport::{MpReceiver, MpSender, MultipathCc, SenderConfig};
 
 /// What one [`run_bulk_sim`] call did, for per-event throughput reporting.
@@ -26,6 +26,9 @@ pub struct BulkRun {
     pub events: u64,
     /// High-water mark of the future-event list.
     pub peak_queue_len: usize,
+    /// Self-profiler snapshot (wall-clock attribution is all zeros unless
+    /// built with `--features profiler`; the wheel counters are always on).
+    pub profile: ProfileReport,
 }
 
 /// Runs one bulk connection (controller `cc`) over `n_links` paper-default
@@ -49,6 +52,7 @@ pub fn run_bulk_sim(
         delivered_bytes: sim.endpoint::<MpSender>(sender).data_acked(),
         events: sim.events_processed(),
         peak_queue_len: sim.peak_queue_len(),
+        profile: sim.profile(),
     }
 }
 
@@ -64,5 +68,13 @@ mod tests {
         assert!(run.delivered_bytes > 1_000_000, "{run:?}");
         assert!(run.events > 10_000, "{run:?}");
         assert!(run.peak_queue_len > 0, "{run:?}");
+        // The wheel introspection counters are always on; RTO/MI timers
+        // land in coarse slots, so a multi-second run must cascade.
+        assert!(run.profile.cascades > 0, "{run:?}");
+        if !mpcc_simcore::Profiler::ENABLED {
+            assert_eq!(run.profile.total_count(), 0, "off build must not count");
+        } else {
+            assert_eq!(run.profile.total_count(), run.events, "{run:?}");
+        }
     }
 }

@@ -96,9 +96,31 @@ impl BenchReport {
             self.run.peak_queue_len
         ));
         out.push_str(&format!(
-            "  \"delivered_bytes\": {}",
+            "  \"delivered_bytes\": {},\n",
             self.run.delivered_bytes
         ));
+        // The timer wheel's introspection counters are always on (and
+        // deterministic); wall-clock attribution only exists in
+        // `--features profiler` builds.
+        let prof = &self.run.profile;
+        out.push_str(&format!(
+            "  \"wheel\": {{ \"cascades\": {}, \"overflow_promotions\": {} }}",
+            prof.cascades, prof.overflow_promotions
+        ));
+        if prof.enabled {
+            out.push_str(",\n  \"profile\": {\n");
+            let cats = mpcc_simcore::ProfCat::all();
+            for (i, cat) in cats.iter().enumerate() {
+                out.push_str(&format!(
+                    "    \"{}\": {{ \"events\": {}, \"wall_ns\": {} }}{}\n",
+                    cat.name(),
+                    prof.counts[*cat as usize],
+                    prof.nanos[*cat as usize],
+                    if i + 1 < cats.len() { "," } else { "" },
+                ));
+            }
+            out.push_str("  }");
+        }
         if let Some((name, eps)) = baseline {
             out.push_str(&format!(
                 ",\n  \"baseline\": {{ \"queue\": \"{name}\", \"events_per_sec\": {eps:.0} }}"

@@ -16,6 +16,7 @@ pub mod bench;
 pub mod check;
 pub mod output;
 pub mod protocols;
+pub mod report;
 pub mod runner;
 pub mod scenarios;
 

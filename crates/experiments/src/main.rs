@@ -1,15 +1,18 @@
 //! The experiments binary: `experiments <id>... [--full] [--seed N]
 //! [--runs N] [--jobs N] [--out DIR] [--trace FILE]
-//! [--trace-filter LAYERS] [--faults SPEC]`, or `experiments all` /
-//! `experiments list`, or `experiments --bench [--bench-secs N]
-//! [--bench-reps N] [--bench-check FILE] [--bench-baseline NAME:EPS]`.
+//! [--trace-filter LAYERS] [--metrics FILE] [--metrics-bin DUR]
+//! [--faults SPEC]`, or `experiments all` / `experiments list`, or
+//! `experiments report FILE` (flight-recorder Markdown from a metrics
+//! stream), or `experiments --bench [--bench-secs N] [--bench-reps N]
+//! [--bench-check FILE] [--bench-baseline NAME:EPS]`.
 
 use mpcc_experiments::bench::{self, BenchConfig};
 use mpcc_experiments::check;
-use mpcc_experiments::runner::{Executor, TraceConfig};
+use mpcc_experiments::report;
+use mpcc_experiments::runner::{Executor, MetricsConfig, TraceConfig};
 use mpcc_experiments::scenarios::{self, ALL};
 use mpcc_experiments::ExpConfig;
-use mpcc_netsim::fault::FaultPlan;
+use mpcc_netsim::fault::{parse_duration, FaultPlan};
 use mpcc_telemetry::LayerMask;
 use std::time::Instant;
 
@@ -19,6 +22,9 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
     let mut trace_mask = LayerMask::ALL;
+    let mut metrics_path: Option<String> = None;
+    let mut metrics_bin: Option<mpcc_simcore::SimDuration> = None;
+    let mut report_mode = false;
     let mut faults = FaultPlan::NONE;
     let mut bench_mode = false;
     let mut check_mode = false;
@@ -92,6 +98,18 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--metrics" => {
+                metrics_path = Some(it.next().expect("--metrics needs a file path"));
+            }
+            "--metrics-bin" => {
+                let spec = it
+                    .next()
+                    .expect("--metrics-bin needs a duration (e.g. 500ms)");
+                metrics_bin = Some(parse_duration(&spec).unwrap_or_else(|e| {
+                    eprintln!("--metrics-bin: {e}");
+                    std::process::exit(2);
+                }));
+            }
             "--faults" => {
                 let spec = it.next().expect("--faults needs a spec");
                 faults = FaultPlan::parse(&spec).unwrap_or_else(|e| {
@@ -104,9 +122,35 @@ fn main() {
                 return;
             }
             "check" => check_mode = true,
+            "report" => report_mode = true,
             "all" => ids.extend(ALL.iter().map(|s| s.to_string())),
             id => ids.push(id.to_string()),
         }
+    }
+    let metrics = |path: &str| {
+        let mut mc = MetricsConfig::new(path.into());
+        if let Some(bin) = metrics_bin {
+            mc = mc.with_bin(bin);
+        }
+        mc
+    };
+    if report_mode {
+        // `experiments report FILE...`: flight-recorder Markdown from the
+        // flushed metrics stream(s) of any earlier run.
+        if ids.is_empty() {
+            eprintln!("usage: experiments report METRICS_FILE...");
+            std::process::exit(2);
+        }
+        for path in &ids {
+            match report::render(std::path::Path::new(path)) {
+                Ok(md) => print!("{md}"),
+                Err(e) => {
+                    eprintln!("report: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
     }
     if bench_mode {
         run_bench_mode(&cfg, bench_cfg, bench_check, bench_baseline);
@@ -118,6 +162,9 @@ fn main() {
             mask: trace_mask,
         });
         cfg.exec = Executor::new(jobs, trace);
+        if let Some(p) = &metrics_path {
+            cfg.exec = cfg.exec.with_metrics(metrics(p));
+        }
         eprintln!(
             ">>> running theory-oracle check (full={}, seed={}, jobs={})",
             cfg.full,
@@ -137,7 +184,9 @@ fn main() {
         eprintln!(
             "usage: experiments <id>... | all | list  [--full] [--seed N] [--runs N] [--jobs N] \
              [--out DIR] [--trace FILE] [--trace-filter controller,transport,link] \
+             [--metrics FILE] [--metrics-bin 500ms] \
              [--faults 'reorder:p=0.05,extra=20ms;outage:at=5s,down=1s']\n\
+             or:    experiments report METRICS_FILE...\n\
              or:    experiments --bench [--bench-secs N] [--bench-reps N] \
              [--bench-check FILE] [--bench-baseline NAME:EPS] [--out DIR]"
         );
@@ -150,6 +199,9 @@ fn main() {
         mask: trace_mask,
     });
     cfg.exec = Executor::new(jobs, trace).with_faults(faults);
+    if let Some(p) = &metrics_path {
+        cfg.exec = cfg.exec.with_metrics(metrics(p));
+    }
     for id in ids {
         let start = Instant::now();
         eprintln!(
@@ -190,6 +242,30 @@ fn run_bench_mode(
         report.run.events,
         report.run.peak_queue_len,
     );
+    let prof = &report.run.profile;
+    eprintln!(
+        "    wheel: {} cascades, {} overflow promotions",
+        prof.cascades, prof.overflow_promotions
+    );
+    if prof.enabled {
+        // Per-category wall-clock attribution (profiler builds only).
+        let total_ns = prof.total_nanos().max(1);
+        eprintln!("    profile (first rep):");
+        for cat in mpcc_simcore::ProfCat::all() {
+            let (n, ns) = (prof.counts[cat as usize], prof.nanos[cat as usize]);
+            if n == 0 {
+                continue;
+            }
+            eprintln!(
+                "      {:<12} {:>10} events  {:>12} ns  ({:>4.1}%  {:>5.0} ns/event)",
+                cat.name(),
+                n,
+                ns,
+                ns as f64 * 100.0 / total_ns as f64,
+                ns as f64 / n as f64,
+            );
+        }
+    }
     if let Some(path) = check {
         match bench::check(&report, std::path::Path::new(&path)) {
             Ok(line) => println!("{line}"),

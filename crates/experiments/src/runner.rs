@@ -16,7 +16,10 @@ use mpcc_netsim::link::{LinkParams, LinkStats};
 use mpcc_netsim::topology::parallel_links;
 use mpcc_netsim::EndpointId;
 use mpcc_simcore::{rng::splitmix64, SimDuration, SimTime};
-use mpcc_telemetry::{CsvSink, JsonlSink, LayerMask, Record, TraceSink, Tracer};
+use mpcc_telemetry::{
+    CsvSink, JsonlSink, LayerMask, MetricsPipeline, PipelineConfig, Record, TeeSink, TraceSink,
+    Tracer,
+};
 use mpcc_transport::{MpReceiver, MpSender, ReceiverStats, SenderConfig, Workload};
 use std::collections::VecDeque;
 use std::io::{self, Write as _};
@@ -61,20 +64,88 @@ impl TraceConfig {
             .with_file_name(format!("{stem}.run{run_id:05}.{ext}"))
     }
 
-    fn make_tracer(&self, run_id: u64) -> io::Result<Tracer> {
+    fn make_sink(&self, run_id: u64) -> io::Result<Arc<dyn TraceSink>> {
         let path = self.run_path(run_id);
-        let sink: Arc<dyn TraceSink> = if self.is_csv() {
+        Ok(if self.is_csv() {
             Arc::new(CsvSink::create(&path)?)
         } else {
             Arc::new(JsonlSink::create(&path)?)
-        };
-        Ok(Tracer::new(sink, self.mask))
+        })
+    }
+}
+
+/// Where runs flush their time-binned metrics rows (see
+/// [`mpcc_telemetry::MetricsPipeline`]).
+///
+/// The per-run part-file and merge discipline is identical to
+/// [`TraceConfig`]: every run folds its own trace stream into its own
+/// `<stem>.run<NNNNN>.<ext>` file, and the [`Executor`] concatenates them
+/// into `path` in run-id order, so the merged series are byte-identical
+/// at any `--jobs` count.
+#[derive(Clone, Debug)]
+pub struct MetricsConfig {
+    /// The merged output file (`.csv` selects CSV, anything else JSONL).
+    pub path: PathBuf,
+    /// Time-bin width of the aggregated series.
+    pub bin: SimDuration,
+    /// Row-ring capacity of each run's pipeline (rows buffered between
+    /// drains to the part file).
+    pub ring_lines: usize,
+}
+
+impl MetricsConfig {
+    /// A config at the default cadence (1 s bins, 256-row ring).
+    pub fn new(path: PathBuf) -> Self {
+        let d = PipelineConfig::default();
+        MetricsConfig {
+            path,
+            bin: d.bin,
+            ring_lines: d.ring_lines,
+        }
+    }
+
+    /// Sets the bin width.
+    pub fn with_bin(mut self, bin: SimDuration) -> Self {
+        self.bin = bin;
+        self
+    }
+
+    fn is_csv(&self) -> bool {
+        self.path.extension().is_some_and(|e| e == "csv")
+    }
+
+    /// The per-run part file for `run_id`.
+    pub fn run_path(&self, run_id: u64) -> PathBuf {
+        let stem = self
+            .path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("metrics");
+        let ext = self
+            .path
+            .extension()
+            .and_then(|s| s.to_str())
+            .unwrap_or("jsonl");
+        self.path
+            .with_file_name(format!("{stem}.run{run_id:05}.{ext}"))
+    }
+
+    fn make_pipeline(&self, run_id: u64) -> io::Result<Arc<MetricsPipeline>> {
+        let cfg = PipelineConfig::default()
+            .with_bin(self.bin)
+            .with_ring(self.ring_lines)
+            .with_run(run_id);
+        Ok(Arc::new(MetricsPipeline::create(
+            cfg,
+            &self.run_path(run_id),
+        )?))
     }
 }
 
 struct ExecInner {
     jobs: usize,
     trace: Option<TraceConfig>,
+    metrics: Option<MetricsConfig>,
     /// Fault plan overlaid on every link of every submitted scenario
     /// (the CLI's global `--faults` spec).
     faults: Option<FaultPlan>,
@@ -99,6 +170,7 @@ impl fmt::Debug for Executor {
         f.debug_struct("Executor")
             .field("jobs", &self.inner.jobs)
             .field("trace", &self.inner.trace)
+            .field("metrics", &self.inner.metrics)
             .field("faults", &self.inner.faults)
             .finish_non_exhaustive()
     }
@@ -132,6 +204,7 @@ impl Executor {
             inner: Arc::new(ExecInner {
                 jobs: jobs.max(1),
                 trace,
+                metrics: None,
                 faults: None,
                 next_run_id: AtomicU64::new(0),
             }),
@@ -148,7 +221,30 @@ impl Executor {
             inner: Arc::new(ExecInner {
                 jobs: inner.jobs,
                 trace: inner.trace.clone(),
+                metrics: inner.metrics.clone(),
                 faults: if faults.is_none() { None } else { Some(faults) },
+                next_run_id: AtomicU64::new(inner.next_run_id.load(Ordering::Relaxed)),
+            }),
+        }
+    }
+
+    /// Returns an executor that additionally streams time-binned metrics
+    /// from every run into `metrics.path`. The merged file is created
+    /// (truncated) here; CSV output gets its header row exactly once, up
+    /// front, like the trace file in [`Executor::new`].
+    pub fn with_metrics(self, metrics: MetricsConfig) -> Self {
+        let mut f = fs::File::create(&metrics.path)
+            .unwrap_or_else(|e| panic!("cannot create metrics file {:?}: {e}", metrics.path));
+        if metrics.is_csv() {
+            writeln!(f, "{}", MetricsPipeline::CSV_HEADER).expect("cannot write metrics header");
+        }
+        let inner = &self.inner;
+        Executor {
+            inner: Arc::new(ExecInner {
+                jobs: inner.jobs,
+                trace: inner.trace.clone(),
+                metrics: Some(metrics),
+                faults: inner.faults,
                 next_run_id: AtomicU64::new(inner.next_run_id.load(Ordering::Relaxed)),
             }),
         }
@@ -212,10 +308,11 @@ impl Executor {
             .into_iter()
             .map(|mut sc| {
                 let id = self.inner.next_run_id.fetch_add(1, Ordering::Relaxed);
-                if let Some(tc) = &self.inner.trace {
-                    sc.tracer = tc
-                        .make_tracer(id)
-                        .unwrap_or_else(|e| panic!("cannot create per-run trace file: {e}"));
+                if let Some(tracer) = self
+                    .make_run_tracer(id)
+                    .unwrap_or_else(|e| panic!("cannot create per-run sink file: {e}"))
+                {
+                    sc.tracer = tracer;
                 }
                 if let Some(fp) = self.inner.faults {
                     for link in &mut sc.links {
@@ -232,9 +329,43 @@ impl Executor {
         let ids: Vec<u64> = jobs.iter().map(|sc| sc.run_id).collect();
         let results = self.map(jobs, |sc| run(&sc));
         if let Some(tc) = &self.inner.trace {
-            merge_traces(tc, &ids).expect("cannot merge per-run trace files");
+            merge_parts(&tc.path, tc.is_csv(), &ids, |id| tc.run_path(id))
+                .expect("cannot merge per-run trace files");
+        }
+        if let Some(mc) = &self.inner.metrics {
+            merge_parts(&mc.path, mc.is_csv(), &ids, |id| mc.run_path(id))
+                .expect("cannot merge per-run metrics files");
         }
         results
+    }
+
+    /// Builds the tracer a run with `run_id` should emit into, combining
+    /// the trace and metrics configurations:
+    ///
+    /// * neither configured → `None` (the scenario keeps its own tracer);
+    /// * trace only → the raw sink behind the trace mask (as before);
+    /// * metrics only → the run's [`MetricsPipeline`] seeing every layer;
+    /// * both → a [`TeeSink`] whose trace branch keeps the `--trace-filter`
+    ///   mask while the metrics branch sees every layer, so attaching
+    ///   metrics never changes the trace bytes.
+    fn make_run_tracer(&self, run_id: u64) -> io::Result<Option<Tracer>> {
+        let trace = &self.inner.trace;
+        let metrics = &self.inner.metrics;
+        Ok(match (trace, metrics) {
+            (None, None) => None,
+            (Some(tc), None) => Some(Tracer::new(tc.make_sink(run_id)?, tc.mask)),
+            (None, Some(mc)) => Some(Tracer::new(mc.make_pipeline(run_id)?, LayerMask::ALL)),
+            (Some(tc), Some(mc)) => {
+                let tee = TeeSink::new(vec![
+                    (tc.make_sink(run_id)?, tc.mask),
+                    (
+                        mc.make_pipeline(run_id)? as Arc<dyn TraceSink>,
+                        LayerMask::ALL,
+                    ),
+                ]);
+                Some(Tracer::new(Arc::new(tee), LayerMask::ALL))
+            }
+        })
     }
 
     /// Runs one scenario through the pool machinery (so it is traced and
@@ -244,15 +375,21 @@ impl Executor {
     }
 }
 
-/// Appends each per-run trace file to the merged file in run-id order and
+/// Appends each per-run part file to the merged file in run-id order and
 /// removes it. Per-run CSV files carry their own header row, which is
-/// skipped — the merged file got one at [`Executor::new`].
-fn merge_traces(tc: &TraceConfig, ids: &[u64]) -> io::Result<()> {
-    let mut out = io::BufWriter::new(fs::OpenOptions::new().append(true).open(&tc.path)?);
+/// skipped — the merged file got one when it was created. Shared by the
+/// trace and metrics merges.
+fn merge_parts(
+    path: &PathBuf,
+    is_csv: bool,
+    ids: &[u64],
+    part_path: impl Fn(u64) -> PathBuf,
+) -> io::Result<()> {
+    let mut out = io::BufWriter::new(fs::OpenOptions::new().append(true).open(path)?);
     for &id in ids {
-        let part = tc.run_path(id);
+        let part = part_path(id);
         let data = fs::read(&part)?;
-        let body: &[u8] = if tc.is_csv() {
+        let body: &[u8] = if is_csv {
             match data.iter().position(|&b| b == b'\n') {
                 Some(i) => &data[i + 1..],
                 None => &[],
@@ -765,6 +902,69 @@ mod tests {
         assert_eq!(s1.lines().filter(|l| *l == header).count(), 1);
 
         // Per-run files are cleaned up after the merge.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".run"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "per-run files left behind: {leftovers:?}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_alongside_trace_leave_trace_bytes_unchanged() {
+        let dir = std::env::temp_dir().join(format!("mpcc-metrics-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let mask = LayerMask::parse("transport").unwrap();
+        // Trace alone (the pre-metrics behaviour)…
+        let t_alone = dir.join("alone.jsonl");
+        Executor::new(
+            2,
+            Some(TraceConfig {
+                path: t_alone.clone(),
+                mask,
+            }),
+        )
+        .run_batch((1..=2).map(tiny).collect());
+        // …vs the same batch with a metrics pipeline teed in.
+        let t_teed = dir.join("teed.jsonl");
+        let m_teed = dir.join("teed-metrics.jsonl");
+        Executor::new(
+            2,
+            Some(TraceConfig {
+                path: t_teed.clone(),
+                mask,
+            }),
+        )
+        .with_metrics(MetricsConfig::new(m_teed.clone()))
+        .run_batch((1..=2).map(tiny).collect());
+        assert_eq!(
+            fs::read(&t_alone).unwrap(),
+            fs::read(&t_teed).unwrap(),
+            "attaching metrics must not change trace bytes"
+        );
+        let metrics = fs::read_to_string(&m_teed).unwrap();
+        assert!(!metrics.is_empty(), "metrics stream must not be empty");
+        // Rows carry executor-assigned run ids (0 then 1, in merge order).
+        assert!(metrics.lines().next().unwrap().contains("\"run\":0"));
+        assert!(metrics.lines().last().unwrap().contains("\"run\":1"));
+
+        // Metrics-only executors work too, and part files are cleaned up.
+        let m_only = dir.join("only-metrics.csv");
+        Executor::new(2, None)
+            .with_metrics(MetricsConfig::new(m_only.clone()))
+            .run_batch((1..=2).map(tiny).collect());
+        let only = fs::read_to_string(&m_only).unwrap();
+        assert_eq!(only.lines().next(), Some(MetricsPipeline::CSV_HEADER));
+        assert_eq!(
+            only.lines()
+                .filter(|l| *l == MetricsPipeline::CSV_HEADER)
+                .count(),
+            1
+        );
         let leftovers: Vec<_> = fs::read_dir(&dir)
             .unwrap()
             .filter_map(|e| e.ok())

@@ -10,5 +10,5 @@
 pub mod series;
 pub mod stats;
 
-pub use series::{RateSeries, SeriesPoint};
+pub use series::{sparkline, RateSeries, SeriesPoint};
 pub use stats::{jain_index, Summary};

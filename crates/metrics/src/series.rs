@@ -105,12 +105,67 @@ impl RateSeries {
     }
 }
 
+/// Renders `vals` as a unicode sparkline (`▁▂▃▄▅▆▇█`), scaled between the
+/// series' own min and max. Series longer than `width` are downsampled by
+/// averaging equal chunks, so the output is at most `width` glyphs. Flat
+/// and empty series render as all-minimum and empty respectively;
+/// non-finite samples are skipped. Used by `experiments report` to show
+/// rate trajectories inline in Markdown.
+pub fn sparkline(vals: &[f64], width: usize) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = vals.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() || width == 0 {
+        return String::new();
+    }
+    // Downsample to at most `width` points by chunk-averaging.
+    let chunk = finite.len().div_ceil(width);
+    let points: Vec<f64> = finite
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect();
+    let min = points.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = points.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    points
+        .iter()
+        .map(|&v| {
+            if span <= 0.0 {
+                GLYPHS[0]
+            } else {
+                let lvl = ((v - min) / span * (GLYPHS.len() - 1) as f64).round() as usize;
+                GLYPHS[lvl.min(GLYPHS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn t(ms: u64) -> SimTime {
         SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn sparkline_scales_and_downsamples() {
+        assert_eq!(sparkline(&[], 40), "");
+        assert_eq!(sparkline(&[5.0], 40), "▁");
+        assert_eq!(sparkline(&[3.0, 3.0, 3.0], 40), "▁▁▁");
+        let ramp: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        assert_eq!(sparkline(&ramp, 40), "▁▂▃▄▅▆▇█");
+        // 80 points squeezed into 40 glyphs.
+        let long: Vec<f64> = (0..80).map(|i| i as f64).collect();
+        let s = sparkline(&long, 40);
+        assert_eq!(s.chars().count(), 40);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+        // Non-finite samples are skipped, not rendered.
+        assert_eq!(
+            sparkline(&[f64::NAN, 1.0, f64::INFINITY, 2.0], 40)
+                .chars()
+                .count(),
+            2
+        );
     }
 
     #[test]

@@ -288,7 +288,10 @@ fn parse_prob(s: &str) -> Result<f64, String> {
     }
 }
 
-fn parse_duration(s: &str) -> Result<SimDuration, String> {
+/// Parses a human duration spec (`"20ms"`, `"1.5s"`, `"250us"`, `"40ns"`)
+/// — the same grammar the `--faults` knobs use, shared with the CLI's
+/// `--metrics-bin` flag.
+pub fn parse_duration(s: &str) -> Result<SimDuration, String> {
     let (num, unit) = s
         .find(|c: char| c.is_ascii_alphabetic())
         .map(|i| s.split_at(i))

@@ -9,7 +9,9 @@
 use crate::ids::{EndpointId, LinkId, PathId};
 use crate::link::{Admission, DropKind, Link, LinkParams, LinkStats, TxOutcome};
 use crate::packet::{Header, Packet};
-use mpcc_simcore::{rng::splitmix64, EventQueue, SimDuration, SimRng, SimTime};
+use mpcc_simcore::{
+    rng::splitmix64, EventQueue, ProfCat, ProfileReport, Profiler, SimDuration, SimRng, SimTime,
+};
 use mpcc_telemetry::{Layer, LinkEvent, Tracer};
 use std::any::Any;
 
@@ -266,6 +268,9 @@ pub struct Simulation {
     tracer: Tracer,
     /// Clamped-schedule count already reported through the tracer.
     warned_clamps: u64,
+    /// Self-profiler; zero-sized and inert unless the `profiler` feature
+    /// is enabled.
+    profiler: Profiler,
 }
 
 impl Simulation {
@@ -284,6 +289,7 @@ impl Simulation {
             started: Vec::new(),
             tracer: Tracer::off(),
             warned_clamps: 0,
+            profiler: Profiler::new(),
         }
     }
 
@@ -421,7 +427,19 @@ impl Simulation {
             }
             let (t, ev) = self.events.pop().expect("peeked");
             self.now = t;
+            // With the feature off, `ENABLED` is a false constant: the
+            // classification, the stamp, and the record all fold away.
+            let cat = if Profiler::ENABLED {
+                Some(self.classify(&ev))
+            } else {
+                None
+            };
+            #[allow(clippy::let_unit_value)] // `Stamp` is `()` with the feature off
+            let stamp = Profiler::start();
             self.dispatch(ev);
+            if let Some(cat) = cat {
+                self.profiler.record(cat, stamp);
+            }
             // Surface release-mode past-schedule clamps (debug builds panic
             // instead). A single u64 compare in the common (zero-clamp) case.
             let clamped = self.events.clamped_schedules();
@@ -454,6 +472,40 @@ impl Simulation {
             self.started.remove(0);
             self.with_endpoint(id, |ep, ctx| ep.start(ctx));
         }
+    }
+
+    /// The profiling category an event will dispatch into. Pure
+    /// observation (mirrors `dispatch`'s branch structure); only called
+    /// when the `profiler` feature is on.
+    fn classify(&self, ev: &Event) -> ProfCat {
+        match ev {
+            Event::TxComplete(_) => ProfCat::LinkTx,
+            Event::Arrive(pkt) => {
+                let past_last_hop = match self.paths.get(pkt.path.0 as usize) {
+                    Some(path) => pkt.hop >= path.links.len(),
+                    None => true,
+                };
+                if !past_last_hop {
+                    ProfCat::Forward
+                } else if pkt.ack().is_some() {
+                    ProfCat::ArriveAck
+                } else {
+                    ProfCat::ArriveData
+                }
+            }
+            Event::Timer(..) => ProfCat::Timer,
+            Event::LinkChange(..) => ProfCat::LinkChange,
+        }
+    }
+
+    /// Snapshot of the self-profiler plus the timer wheel's always-on
+    /// introspection counters.
+    pub fn profile(&self) -> ProfileReport {
+        self.profiler.report(
+            self.events.cascades(),
+            self.events.overflow_promotions(),
+            self.events.occupied_slots(),
+        )
     }
 
     fn dispatch(&mut self, ev: Event) {

@@ -28,7 +28,7 @@ pub struct QueueSample {
 /// Samples one link's queue over time.
 ///
 /// Retains the raw sample series (for plotting) and folds each sample into
-/// a fixed-bucket occupancy [`Histogram`] plus busy/total [`Counter`]s, so
+/// a log₂-bucketed occupancy [`Histogram`] plus busy/total [`Counter`]s, so
 /// summary statistics come from the shared telemetry primitives.
 #[derive(Clone, Debug)]
 pub struct QueueProbe {
@@ -42,17 +42,7 @@ impl Default for QueueProbe {
     fn default() -> Self {
         QueueProbe {
             samples: Vec::new(),
-            // Occupancy buckets in bytes: 1 pkt … ≫1 BDP of the paper's
-            // default link (375 KB), roughly logarithmic.
-            occupancy: Histogram::new(&[
-                1_500.0,
-                7_500.0,
-                37_500.0,
-                93_750.0,
-                187_500.0,
-                375_000.0,
-                1_500_000.0,
-            ]),
+            occupancy: Histogram::new(),
             busy: Counter::new(),
             total: Counter::new(),
         }

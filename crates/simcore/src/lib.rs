@@ -11,11 +11,13 @@
 
 #![warn(missing_docs)]
 
+pub mod profiler;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod units;
 
+pub use profiler::{ProfCat, ProfileReport, Profiler, Stamp};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

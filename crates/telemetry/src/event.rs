@@ -19,6 +19,10 @@ pub enum Layer {
     Link,
     /// Runtime invariant checker: violations only (clean runs are silent).
     Check,
+    /// Telemetry self-reporting: ring truncation markers and the like.
+    /// Never emitted by the simulation itself, so enabling it cannot
+    /// perturb traces or golden digests.
+    Meta,
 }
 
 impl Layer {
@@ -29,6 +33,7 @@ impl Layer {
             Layer::Transport => "transport",
             Layer::Link => "link",
             Layer::Check => "check",
+            Layer::Meta => "meta",
         }
     }
 }
@@ -40,7 +45,7 @@ pub struct LayerMask(u8);
 
 impl LayerMask {
     /// Record every layer.
-    pub const ALL: LayerMask = LayerMask(0b1111);
+    pub const ALL: LayerMask = LayerMask(0b11111);
     /// Record nothing.
     pub const NONE: LayerMask = LayerMask(0);
 
@@ -69,6 +74,7 @@ impl LayerMask {
                 "transport" => mask.with(Layer::Transport),
                 "link" => mask.with(Layer::Link),
                 "check" => mask.with(Layer::Check),
+                "meta" => mask.with(Layer::Meta),
                 "all" => LayerMask::ALL,
                 other => return Err(format!("unknown trace layer {other:?}")),
             };
@@ -82,6 +88,7 @@ impl LayerMask {
             Layer::Transport => 0b010,
             Layer::Link => 0b100,
             Layer::Check => 0b1000,
+            Layer::Meta => 0b10000,
         }
     }
 }
@@ -320,6 +327,20 @@ pub enum CheckEvent {
     },
 }
 
+/// Events emitted by the telemetry layer about itself.
+///
+/// These are synthesized by sinks (never by the simulation), so recording
+/// them cannot perturb event order, RNG consumption, or golden digests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetaEvent {
+    /// A bounded ring sink overflowed and evicted records. Emitted once
+    /// per drain, stamped with the time of the first eviction.
+    RingTruncated {
+        /// Records evicted since the ring was created (or last drained).
+        dropped: u64,
+    },
+}
+
 /// Any event from any layer.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum TraceEvent {
@@ -331,6 +352,8 @@ pub enum TraceEvent {
     Link(LinkEvent),
     /// Invariant-checker event.
     Check(CheckEvent),
+    /// Telemetry self-reporting event.
+    Meta(MetaEvent),
 }
 
 impl From<ControllerEvent> for TraceEvent {
@@ -351,6 +374,11 @@ impl From<LinkEvent> for TraceEvent {
 impl From<CheckEvent> for TraceEvent {
     fn from(e: CheckEvent) -> Self {
         TraceEvent::Check(e)
+    }
+}
+impl From<MetaEvent> for TraceEvent {
+    fn from(e: MetaEvent) -> Self {
+        TraceEvent::Meta(e)
     }
 }
 
@@ -424,6 +452,7 @@ impl TraceEvent {
             TraceEvent::Transport(_) => Layer::Transport,
             TraceEvent::Link(_) => Layer::Link,
             TraceEvent::Check(_) => Layer::Check,
+            TraceEvent::Meta(_) => Layer::Meta,
         }
     }
 
@@ -457,6 +486,9 @@ impl TraceEvent {
             },
             TraceEvent::Check(e) => match e {
                 CheckEvent::Violation { .. } => "check_violation",
+            },
+            TraceEvent::Meta(e) => match e {
+                MetaEvent::RingTruncated { .. } => "ring_truncated",
             },
         }
     }
@@ -640,6 +672,9 @@ impl TraceEvent {
                     ("expected", F64(expected)),
                 ],
             },
+            TraceEvent::Meta(e) => match *e {
+                MetaEvent::RingTruncated { dropped } => vec![("dropped", U64(dropped))],
+            },
         }
     }
 }
@@ -762,6 +797,20 @@ mod tests {
         );
         assert!(LayerMask::ALL.contains(Layer::Check));
         assert!(LayerMask::parse("check").unwrap().contains(Layer::Check));
+    }
+
+    #[test]
+    fn meta_truncation_marker_serializes() {
+        let rec = Record {
+            t: SimTime::from_nanos(9),
+            event: MetaEvent::RingTruncated { dropped: 17 }.into(),
+        };
+        assert_eq!(
+            rec.to_jsonl(),
+            "{\"t_ns\":9,\"layer\":\"meta\",\"type\":\"ring_truncated\",\"dropped\":17}"
+        );
+        assert!(LayerMask::ALL.contains(Layer::Meta));
+        assert!(LayerMask::parse("meta").unwrap().contains(Layer::Meta));
     }
 
     #[test]

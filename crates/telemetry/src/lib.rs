@@ -17,17 +17,23 @@
 //!   built lazily via [`Tracer::emit_with`], so hot paths pay ~nothing.
 //!
 //! Sinks: [`NullSink`] (drop everything), [`RingSink`] (bounded in-memory
-//! buffer, used by tests and invariant checks), [`JsonlSink`] /
-//! [`CsvSink`] (streaming exporters used by the experiments CLI's
-//! `--trace` flag), and [`StatsSink`] (monotonic counters + fixed-bucket
-//! histograms aggregated per subflow / connection / link).
+//! buffer with observable overflow, used by tests and invariant checks),
+//! [`JsonlSink`] / [`CsvSink`] (streaming exporters used by the
+//! experiments CLI's `--trace` flag), [`TeeSink`] (per-branch-masked
+//! fan-out), [`StatsSink`] (monotonic counters + log₂-bucketed histograms
+//! aggregated per subflow / connection / link), and [`MetricsPipeline`]
+//! (bounded-memory time-binned metrics rows streamed to JSONL/CSV — the
+//! substrate of `--metrics` and `experiments report`).
 
 pub mod event;
+pub mod pipeline;
 pub mod sink;
 pub mod stats;
 
 pub use event::{
-    CheckEvent, ControllerEvent, Layer, LayerMask, LinkEvent, Record, TraceEvent, TransportEvent,
+    CheckEvent, ControllerEvent, Layer, LayerMask, LinkEvent, MetaEvent, Record, TraceEvent,
+    TransportEvent,
 };
-pub use sink::{CsvSink, JsonlSink, NullSink, RingSink, TraceSink, Tracer};
+pub use pipeline::{MetricsPipeline, PipelineConfig};
+pub use sink::{CsvSink, JsonlSink, NullSink, RingSink, TeeSink, TraceSink, Tracer};
 pub use stats::{Counter, Histogram, StatsReport, StatsSink};

@@ -30,12 +30,25 @@ impl TraceSink for NullSink {
     fn record(&self, _rec: &Record) {}
 }
 
+struct RingInner {
+    buf: VecDeque<Record>,
+    /// Records evicted because the ring was full.
+    dropped: u64,
+    /// Sim-time of the first eviction, used to stamp the truncation marker.
+    first_drop_t: Option<mpcc_simcore::SimTime>,
+}
+
 /// A bounded in-memory ring buffer of records — the sink tests and
 /// invariant checks use to inspect what a run emitted.
+///
+/// Overflow is observable, never silent: evictions are counted
+/// ([`RingSink::evicted`]) and [`RingSink::records`] prepends a one-time
+/// [`crate::MetaEvent::RingTruncated`] marker (stamped with the time of
+/// the first eviction) whenever anything was dropped, so a consumer of a
+/// wrapped ring always learns the window is incomplete.
 pub struct RingSink {
-    buf: Mutex<VecDeque<Record>>,
+    inner: Mutex<RingInner>,
     capacity: usize,
-    dropped: Mutex<u64>,
 }
 
 impl RingSink {
@@ -43,25 +56,37 @@ impl RingSink {
     /// are evicted first once full.
     pub fn new(capacity: usize) -> Self {
         RingSink {
-            buf: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+            inner: Mutex::new(RingInner {
+                buf: VecDeque::with_capacity(capacity.min(4096)),
+                dropped: 0,
+                first_drop_t: None,
+            }),
             capacity: capacity.max(1),
-            dropped: Mutex::new(0),
         }
     }
 
-    /// A copy of the buffered records, oldest first.
+    /// A copy of the buffered records, oldest first. If the ring ever
+    /// overflowed, the copy leads with a synthesized `ring_truncated`
+    /// meta record carrying the eviction count.
     pub fn records(&self) -> Vec<Record> {
-        self.buf
-            .lock()
-            .expect("ring poisoned")
-            .iter()
-            .copied()
-            .collect()
+        let inner = self.inner.lock().expect("ring poisoned");
+        let mut out = Vec::with_capacity(inner.buf.len() + 1);
+        if inner.dropped > 0 {
+            out.push(Record {
+                t: inner.first_drop_t.expect("dropped implies a first drop"),
+                event: crate::event::MetaEvent::RingTruncated {
+                    dropped: inner.dropped,
+                }
+                .into(),
+            });
+        }
+        out.extend(inner.buf.iter().copied());
+        out
     }
 
-    /// Number of records currently buffered.
+    /// Number of records currently buffered (markers not included).
     pub fn len(&self) -> usize {
-        self.buf.lock().expect("ring poisoned").len()
+        self.inner.lock().expect("ring poisoned").buf.len()
     }
 
     /// Whether the ring is empty.
@@ -71,18 +96,53 @@ impl RingSink {
 
     /// Records evicted because the ring was full.
     pub fn evicted(&self) -> u64 {
-        *self.dropped.lock().expect("ring poisoned")
+        self.inner.lock().expect("ring poisoned").dropped
     }
 }
 
 impl TraceSink for RingSink {
     fn record(&self, rec: &Record) {
-        let mut buf = self.buf.lock().expect("ring poisoned");
-        if buf.len() == self.capacity {
-            buf.pop_front();
-            *self.dropped.lock().expect("ring poisoned") += 1;
+        let mut inner = self.inner.lock().expect("ring poisoned");
+        if inner.buf.len() == self.capacity {
+            let evicted = inner.buf.pop_front().expect("full ring has a front");
+            inner.dropped += 1;
+            if inner.first_drop_t.is_none() {
+                inner.first_drop_t = Some(evicted.t);
+            }
         }
-        buf.push_back(*rec);
+        inner.buf.push_back(*rec);
+    }
+}
+
+/// Fans each record out to several sinks, each behind its own
+/// [`LayerMask`] — e.g. full-fidelity trace records to a [`JsonlSink`]
+/// while the same stream feeds a metrics pipeline, without the emitting
+/// layers knowing there is more than one consumer.
+pub struct TeeSink {
+    branches: Vec<(Arc<dyn TraceSink>, LayerMask)>,
+}
+
+impl TeeSink {
+    /// A tee over `branches`; each sink sees only the layers in its mask.
+    pub fn new(branches: Vec<(Arc<dyn TraceSink>, LayerMask)>) -> Self {
+        TeeSink { branches }
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn record(&self, rec: &Record) {
+        let layer = rec.event.layer();
+        for (sink, mask) in &self.branches {
+            if mask.contains(layer) {
+                sink.record(rec);
+            }
+        }
+    }
+
+    fn flush(&self) {
+        for (sink, _) in &self.branches {
+            sink.flush();
+        }
     }
 }
 
@@ -258,16 +318,54 @@ mod tests {
     }
 
     #[test]
-    fn ring_evicts_oldest() {
+    fn ring_evicts_oldest_and_marks_truncation() {
         let ring = RingSink::new(2);
         ring.record(&rec(1));
         ring.record(&rec(2));
+        assert_eq!(ring.evicted(), 0);
+        // No overflow yet: no marker.
+        assert_eq!(ring.records().len(), 2);
+
         ring.record(&rec(3));
+        ring.record(&rec(4));
+        assert_eq!(ring.evicted(), 2);
         let got = ring.records();
-        assert_eq!(got.len(), 2);
-        assert_eq!(got[0].t, SimTime::from_nanos(2));
+        // One marker + the two surviving records.
+        assert_eq!(got.len(), 3);
+        // The marker carries the count and the first-evicted record's time.
+        assert_eq!(got[0].t, SimTime::from_nanos(1));
+        assert_eq!(
+            got[0].event,
+            crate::event::MetaEvent::RingTruncated { dropped: 2 }.into()
+        );
         assert_eq!(got[1].t, SimTime::from_nanos(3));
-        assert_eq!(ring.evicted(), 1);
+        assert_eq!(got[2].t, SimTime::from_nanos(4));
+    }
+
+    #[test]
+    fn tee_filters_per_branch_and_flushes_all() {
+        let all = Arc::new(RingSink::new(8));
+        let links_only = Arc::new(RingSink::new(8));
+        let tee = TeeSink::new(vec![
+            (all.clone() as Arc<dyn TraceSink>, LayerMask::ALL),
+            (
+                links_only.clone() as Arc<dyn TraceSink>,
+                LayerMask::only(Layer::Link),
+            ),
+        ]);
+        let tracer = Tracer::new(Arc::new(tee), LayerMask::ALL);
+        tracer.emit(SimTime::ZERO, LinkEvent::DropRandom { link: 0, bytes: 1 });
+        tracer.emit(
+            SimTime::ZERO,
+            crate::event::ControllerEvent::RatePublished {
+                conn: 1,
+                subflow: 0,
+                rate_mbps: 10.0,
+            },
+        );
+        tracer.flush();
+        assert_eq!(all.len(), 2);
+        assert_eq!(links_only.len(), 1);
     }
 
     #[test]

@@ -20,6 +20,11 @@ use mpcc_simcore::{SimDuration, SimTime};
 use mpcc_transport::{MpReceiver, MpSender, SchedulerKind, SenderConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Both tests share the one global allocation counter, so they must not
+/// run concurrently — each takes this lock around its measurement.
+static MEASUREMENT: Mutex<()> = Mutex::new(());
 
 struct CountingAlloc;
 
@@ -51,6 +56,7 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 #[test]
 fn steady_state_round_trips_do_not_allocate() {
+    let _serial = MEASUREMENT.lock().unwrap_or_else(|e| e.into_inner());
     // Two paper-default links, a bulk Reno flow — the same shape as the
     // committed benchmark workload.
     let n_links = 2;
@@ -97,5 +103,67 @@ fn steady_state_round_trips_do_not_allocate() {
     assert_eq!(
         delta, 0,
         "steady-state round trips allocated {delta} times over {events} events"
+    );
+}
+
+/// The same workload with the streaming metrics pipeline attached at its
+/// default cadence. The pipeline aggregates per-bin and recycles its row
+/// strings, so its steady-state cost must stay *bounded*: a handful of
+/// container-growth allocations per measured window at most, never a
+/// per-packet (or even per-row) rate. The zero-allocation guarantee above
+/// is for the metrics-off path; this pins the metrics-on path to O(1).
+#[test]
+fn metrics_pipeline_at_default_cadence_allocates_boundedly() {
+    use mpcc_telemetry::{LayerMask, MetricsPipeline, PipelineConfig, Tracer};
+    use std::sync::Arc;
+
+    let _serial = MEASUREMENT.lock().unwrap_or_else(|e| e.into_inner());
+    let n_links = 2;
+    let mut net = uniform_parallel_links(11, n_links, LinkParams::paper_default());
+    let paths: Vec<_> = (0..n_links).map(|i| net.path(i)).collect();
+    let mut sim = net.sim;
+    // Default 1 s bins; a small ring so the drain-and-recycle cycle runs
+    // several times inside the warm-up and the spare pool is fully
+    // populated before the window starts.
+    let pipe = Arc::new(MetricsPipeline::new(
+        PipelineConfig::default().with_ring(16),
+        false,
+        Box::new(std::io::sink()),
+    ));
+    sim.set_tracer(Tracer::new(pipe.clone(), LayerMask::ALL));
+    let recv = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
+    let cfg = SenderConfig::bulk(recv, paths).with_scheduler(SchedulerKind::Default);
+    let sender = sim.add_endpoint(Box::new(MpSender::new(cfg, Box::new(reno()))));
+
+    // Same warm-up/window split as the zero-alloc test (see the wheel
+    // rotation notes there).
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(40));
+    let lines_warm = pipe.lines_written();
+    assert!(
+        lines_warm >= 40,
+        "pipeline must be streaming ({lines_warm} lines)"
+    );
+
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(65));
+    let delta = ALLOC_CALLS.load(Ordering::SeqCst) - before;
+
+    let events = sim.events_processed();
+    let lines = pipe.lines_written() - lines_warm;
+    assert!(
+        sim.endpoint::<MpSender>(sender).data_acked() > 10_000_000 && lines >= 25,
+        "window must exercise the metrics path ({lines} lines)"
+    );
+    assert!(
+        pipe.ring_high_water() <= pipe.ring_capacity(),
+        "ring exceeded capacity: {} > {}",
+        pipe.ring_high_water(),
+        pipe.ring_capacity()
+    );
+    // Bounded: not zero (a row string may still round up its capacity
+    // once), but nowhere near per-event or per-row rates.
+    assert!(
+        delta < 100,
+        "metrics-on steady state allocated {delta} times over {events} events ({lines} rows)"
     );
 }
