@@ -19,6 +19,7 @@ pub mod protocols;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
+pub mod udp_demo;
 
 use runner::Executor;
 use std::path::PathBuf;

@@ -3,7 +3,8 @@
 //! [--trace-filter LAYERS] [--metrics FILE] [--metrics-bin DUR]
 //! [--faults SPEC]`, or `experiments all` / `experiments list`, or
 //! `experiments report FILE` (flight-recorder Markdown from a metrics
-//! stream), or `experiments --bench [--bench-secs N] [--bench-reps N]
+//! stream), or `experiments udp [--udp-bytes N]` (real-socket loopback
+//! demo), or `experiments --bench [--bench-secs N] [--bench-reps N]
 //! [--bench-check FILE] [--bench-baseline NAME:EPS]`.
 
 use mpcc_experiments::bench::{self, BenchConfig};
@@ -11,10 +12,11 @@ use mpcc_experiments::check;
 use mpcc_experiments::report;
 use mpcc_experiments::runner::{Executor, MetricsConfig, TraceConfig};
 use mpcc_experiments::scenarios::{self, ALL};
+use mpcc_experiments::udp_demo;
 use mpcc_experiments::ExpConfig;
 use mpcc_netsim::fault::{parse_duration, FaultPlan};
+use mpcc_simcore::{Clock, MonotonicClock};
 use mpcc_telemetry::LayerMask;
-use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +30,9 @@ fn main() {
     let mut faults = FaultPlan::NONE;
     let mut bench_mode = false;
     let mut check_mode = false;
+    let mut udp_mode = false;
+    let mut udp_receiver = false;
+    let mut udp_bytes = udp_demo::DEFAULT_BYTES;
     let mut bench_cfg = BenchConfig::default();
     let mut bench_check: Option<String> = None;
     let mut bench_baseline: Option<(String, f64)> = None;
@@ -123,6 +128,15 @@ fn main() {
             }
             "check" => check_mode = true,
             "report" => report_mode = true,
+            "udp" => udp_mode = true,
+            "--udp-receiver" => udp_receiver = true,
+            "--udp-bytes" => {
+                udp_bytes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--udp-bytes needs a byte count >= 1");
+            }
             "all" => ids.extend(ALL.iter().map(|s| s.to_string())),
             id => ids.push(id.to_string()),
         }
@@ -134,6 +148,18 @@ fn main() {
         }
         mc
     };
+    if udp_receiver {
+        std::process::exit(udp_demo::serve_receiver(cfg.seed));
+    }
+    if udp_mode {
+        let opts = udp_demo::DemoOpts {
+            bytes: udp_bytes,
+            seed: cfg.seed,
+            trace: trace_path.map(|p| (p.into(), trace_mask)),
+            metrics: metrics_path.map(|p| (p.into(), metrics_bin)),
+        };
+        std::process::exit(udp_demo::run(&opts));
+    }
     if report_mode {
         // `experiments report FILE...`: flight-recorder Markdown from the
         // flushed metrics stream(s) of any earlier run.
@@ -187,6 +213,7 @@ fn main() {
              [--metrics FILE] [--metrics-bin 500ms] \
              [--faults 'reorder:p=0.05,extra=20ms;outage:at=5s,down=1s']\n\
              or:    experiments report METRICS_FILE...\n\
+             or:    experiments udp [--udp-bytes N] [--seed N] [--trace FILE] [--metrics FILE]\n\
              or:    experiments --bench [--bench-secs N] [--bench-reps N] \
              [--bench-check FILE] [--bench-baseline NAME:EPS] [--out DIR]"
         );
@@ -202,8 +229,12 @@ fn main() {
     if let Some(p) = &metrics_path {
         cfg.exec = cfg.exec.with_metrics(metrics(p));
     }
+    // Wall-clock timing goes through the Clock seam like every other
+    // time source in the tree (the lint test in tests/wallclock_lint.rs
+    // keeps raw `Instant::now()` out of non-bench code).
+    let mut wall = MonotonicClock::new();
     for id in ids {
-        let start = Instant::now();
+        let start = wall.now();
         eprintln!(
             ">>> running {id} (full={}, seed={}, jobs={})",
             cfg.full,
@@ -214,7 +245,10 @@ fn main() {
         for fig in figures {
             fig.emit(&cfg.out_dir);
         }
-        eprintln!("<<< {id} done in {:.1}s", start.elapsed().as_secs_f64());
+        eprintln!(
+            "<<< {id} done in {:.1}s",
+            wall.elapsed_since(start).as_secs_f64()
+        );
     }
 }
 

@@ -77,6 +77,12 @@ fn parse_jsonl_row(line: &str) -> Result<Row, String> {
             let val: f64 = after[..end]
                 .parse()
                 .map_err(|_| format!("bad number for {key:?}"))?;
+            // `"NaN"`/`"inf"` parse as f64 but poison every downstream
+            // aggregate (means, Jain index, sparkline minima), so a
+            // non-finite value is a malformed stream, not data.
+            if !val.is_finite() {
+                return Err(format!("non-finite value for {key:?}"));
+            }
             match key {
                 "t_ns" => row.t_ns = val as u64,
                 "run" => row.run = val as u64,
@@ -119,7 +125,11 @@ fn parse_csv_row(line: &str) -> Result<Row, String> {
             .split_once('=')
             .ok_or_else(|| format!("bad field {kv:?}"))?;
         match v.parse::<f64>() {
-            Ok(n) => row.nums.push((k.to_string(), n)),
+            Ok(n) if n.is_finite() => row.nums.push((k.to_string(), n)),
+            // Parses as a float but is NaN/±inf: reject rather than
+            // letting it pass as a "string" and silently vanish, or as a
+            // number and poison the aggregates.
+            Ok(_) => return Err(format!("non-finite value for {k:?}")),
             Err(_) => row.strs.push((k.to_string(), v.to_string())),
         }
     }
@@ -419,7 +429,9 @@ pub fn render(path: &Path) -> Result<String, String> {
                     continue;
                 }
                 let mut p50s = sub.rtt_p50s.clone();
-                p50s.sort_by(|a, b| a.partial_cmp(b).expect("finite RTTs"));
+                // The parser rejects non-finite values, but keep the sort
+                // total anyway: a report renderer must never panic.
+                p50s.sort_by(f64::total_cmp);
                 let _ = writeln!(
                     out,
                     "| {conn} | {subflow} | {:.0} | {:.0} |",
@@ -478,6 +490,32 @@ mod tests {
         let check = parse_csv_row("5,0,check,\"invariant=demo count=1\"").unwrap();
         assert_eq!(check.label("invariant"), Some("demo"));
         assert!(parse_csv_row("x,y,z").is_err());
+    }
+
+    #[test]
+    fn non_finite_values_are_malformed_not_data() {
+        // A NaN/inf goodput would otherwise poison the Jain index, the
+        // per-subflow mean, and the sparkline minimum for the whole run.
+        for bad in ["NaN", "inf", "-inf", "Infinity"] {
+            let line = format!(
+                "{{\"t_ns\":1000000000,\"run\":0,\"scope\":\"subflow\",\
+                 \"conn\":0,\"subflow\":0,\"goodput_mbps\":{bad}}}"
+            );
+            let err = parse_jsonl_row(&line).unwrap_err();
+            assert!(err.contains("non-finite"), "{bad}: {err}");
+
+            let csv = format!("1000000000,0,subflow,\"conn=0 subflow=0 goodput_mbps={bad}\"");
+            let err = parse_csv_row(&csv).unwrap_err();
+            assert!(err.contains("non-finite"), "{bad}: {err}");
+        }
+        // And the whole-document path reports it as a malformed stream.
+        let doc = "{\"t_ns\":1000000000,\"run\":0,\"scope\":\"subflow\",\
+                   \"conn\":0,\"subflow\":0,\"goodput_mbps\":NaN}\n";
+        let err = parse(doc).unwrap_err();
+        assert!(
+            err.contains("line 1") && err.contains("non-finite"),
+            "{err}"
+        );
     }
 
     #[test]

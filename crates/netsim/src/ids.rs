@@ -1,33 +1,21 @@
 //! Typed handles for simulator objects.
+//!
+//! [`EndpointId`] and [`PathId`] moved to `mpcc_transport::wire` when the
+//! driver seam was cut (endpoints and paths are concepts every driver
+//! shares); they are re-exported here so existing `mpcc_netsim::ids::*`
+//! imports keep compiling. [`LinkId`] stays: links are a simulator-only
+//! concept.
 
 use std::fmt;
+
+pub use mpcc_transport::wire::{EndpointId, PathId};
 
 /// Handle to a unidirectional link.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinkId(pub u32);
 
-/// Handle to an endpoint (a transport sender or receiver).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EndpointId(pub u32);
-
-/// Handle to a forward path (an ordered list of links).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct PathId(pub u32);
-
 impl fmt::Debug for LinkId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "link{}", self.0)
-    }
-}
-
-impl fmt::Debug for EndpointId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ep{}", self.0)
-    }
-}
-
-impl fmt::Debug for PathId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "path{}", self.0)
     }
 }

@@ -10,8 +10,10 @@
 //! outages — see [`fault`]) for adversarial soak testing.
 //!
 //! Transport endpoints plug in via the [`Endpoint`] trait and interact with
-//! the network only through [`Ctx`] (send on a path, set a timer, draw
-//! randomness) — the same information boundary a real host has.
+//! the network only through the [`HostCtx`] driver seam defined in
+//! `mpcc-transport` (send on a path, set a timer, draw randomness) — the
+//! same information boundary a real host has. [`Ctx`] is this simulator's
+//! `HostCtx` implementation; `mpcc-udp` provides a real-socket one.
 
 #![warn(missing_docs)]
 
@@ -20,14 +22,16 @@ pub mod ids;
 pub mod link;
 pub mod network;
 pub mod packet;
+pub mod replay;
 pub mod topology;
 pub mod trace;
 
 pub use fault::{BurstLoss, DuplicateFault, FaultPlan, OutageSchedule, ReorderFault};
 pub use ids::{EndpointId, LinkId, PathId};
 pub use link::{Admission, DropKind, Link, LinkParams, LinkStats, TxOutcome};
-pub use network::{Ctx, Endpoint, Path, Simulation};
+pub use network::{endpoint_rng, Ctx, Endpoint, HostCtx, Path, Simulation};
 pub use packet::{
     AckHeader, DataHeader, Header, Packet, SackBlocks, SeqRange, ACK_SIZE, MAX_SACK_BLOCKS,
     MSS_PAYLOAD, MSS_WIRE,
 };
+pub use replay::{Blackhole, Tap};

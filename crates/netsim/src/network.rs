@@ -1,10 +1,14 @@
 //! The event loop tying links, paths and endpoints together.
 //!
-//! Endpoints (transport senders and receivers) implement [`Endpoint`] and
-//! interact with the network exclusively through [`Ctx`]: sending packets
-//! down a path, setting timers, and drawing randomness. The simulation is a
-//! single-threaded deterministic event loop in the spirit of smoltcp's
-//! event-driven design — no async runtime, no hidden concurrency.
+//! Endpoints (transport senders and receivers) implement
+//! [`mpcc_transport::Endpoint`] and interact with the network exclusively
+//! through the [`mpcc_transport::HostCtx`] seam: sending packets down a
+//! path, setting timers, and drawing randomness. This simulator is one
+//! driver behind that seam ([`Ctx`] is its `HostCtx` implementation); the
+//! `mpcc-udp` crate provides another, backed by real sockets. The
+//! simulation is a single-threaded deterministic event loop in the spirit
+//! of smoltcp's event-driven design — no async runtime, no hidden
+//! concurrency.
 
 use crate::ids::{EndpointId, LinkId, PathId};
 use crate::link::{Admission, DropKind, Link, LinkParams, LinkStats, TxOutcome};
@@ -13,7 +17,8 @@ use mpcc_simcore::{
     rng::splitmix64, EventQueue, ProfCat, ProfileReport, Profiler, SimDuration, SimRng, SimTime,
 };
 use mpcc_telemetry::{Layer, LinkEvent, Tracer};
-use std::any::Any;
+
+pub use mpcc_transport::{Endpoint, HostCtx};
 
 /// A forward path: an ordered list of links, plus the delay the reverse
 /// (ACK) direction experiences.
@@ -41,23 +46,8 @@ enum Event {
     LinkChange(LinkId, LinkParams),
 }
 
-/// The interface a transport endpoint implements. (`Send` so whole
-/// simulations can be farmed out to worker threads in parameter sweeps.)
-pub trait Endpoint: Send {
-    /// Called once when the simulation first runs, at the endpoint's start
-    /// time.
-    fn start(&mut self, ctx: &mut Ctx<'_>);
-    /// Called when a packet addressed to this endpoint arrives.
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>);
-    /// Called when a timer set via [`Ctx::set_timer`] fires.
-    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>);
-    /// Downcasting support so harnesses can read endpoint statistics.
-    fn as_any(&self) -> &dyn Any;
-    /// Mutable downcasting support.
-    fn as_any_mut(&mut self) -> &mut dyn Any;
-}
-
-/// The capabilities an endpoint has while handling an event.
+/// The simulator's implementation of the [`HostCtx`] driver seam: the
+/// capabilities an endpoint has while handling an event.
 pub struct Ctx<'a> {
     now: SimTime,
     self_id: EndpointId,
@@ -70,32 +60,27 @@ pub struct Ctx<'a> {
     tracer: &'a Tracer,
 }
 
-impl<'a> Ctx<'a> {
-    /// Current simulation time.
-    pub fn now(&self) -> SimTime {
+impl HostCtx for Ctx<'_> {
+    fn now(&self) -> SimTime {
         self.now
     }
 
-    /// This endpoint's id.
-    pub fn self_id(&self) -> EndpointId {
+    fn self_id(&self) -> EndpointId {
         self.self_id
     }
 
-    /// This endpoint's private random stream.
-    pub fn rng(&mut self) -> &mut SimRng {
+    fn rng(&mut self) -> &mut SimRng {
         self.rng
     }
 
-    /// The simulation's tracer (cheap to clone; disabled by default).
-    /// Transport endpoints emit their events through this handle.
-    pub fn tracer(&self) -> &Tracer {
+    fn tracer(&self) -> &Tracer {
         self.tracer
     }
 
     /// Sends a packet down `path` toward `dst`. The packet enters the first
     /// link's queue immediately (host NIC queueing is not modelled; pacing
     /// is the transport's job).
-    pub fn send(&mut self, path: PathId, dst: EndpointId, size: u64, header: Header) {
+    fn send(&mut self, path: PathId, dst: EndpointId, size: u64, header: Header) {
         let id = *self.next_packet_id;
         *self.next_packet_id += 1;
         let pkt = Packet {
@@ -110,6 +95,30 @@ impl<'a> Ctx<'a> {
         self.forward(pkt);
     }
 
+    /// The reverse direction is modelled as pure delay (none of the paper's
+    /// topologies congest the ACK path), so a reverse send bypasses all
+    /// links and arrives after the path's configured reverse delay.
+    fn send_reverse(&mut self, path: PathId, dst: EndpointId, size: u64, header: Header) {
+        let delay = self.paths[path.0 as usize].reverse_delay;
+        self.send_direct(dst, delay, size, header);
+    }
+
+    fn set_timer(&mut self, at: SimTime, token: u64) {
+        self.events.schedule(at, Event::Timer(self.self_id, token));
+    }
+
+    fn path_base_rtt(&self, path: PathId) -> SimDuration {
+        let p = &self.paths[path.0 as usize];
+        let forward = p
+            .links
+            .iter()
+            .map(|l| self.links[l.0 as usize].params().delay)
+            .fold(SimDuration::ZERO, |a, b| a + b);
+        forward + p.reverse_delay
+    }
+}
+
+impl<'a> Ctx<'a> {
     /// Sends a packet directly to `dst` after `delay`, bypassing all links.
     /// Used for the delay-only reverse (ACK) direction.
     pub fn send_direct(&mut self, dst: EndpointId, delay: SimDuration, size: u64, header: Header) {
@@ -127,12 +136,6 @@ impl<'a> Ctx<'a> {
             header,
         };
         self.events.schedule(self.now + delay, Event::Arrive(pkt));
-    }
-
-    /// Arms a timer that fires `on_timer(token)` at absolute time `at`.
-    /// Timers cannot be cancelled; endpoints must ignore stale tokens.
-    pub fn set_timer(&mut self, at: SimTime, token: u64) {
-        self.events.schedule(at, Event::Timer(self.self_id, token));
     }
 
     /// The links of `path`, for topology-aware helpers (e.g. base-RTT
@@ -253,6 +256,17 @@ fn check_admission(tracer: &Tracer, now: SimTime, link_id: LinkId, link: &Link, 
 #[inline(always)]
 fn check_admission(_: &Tracer, _: SimTime, _: LinkId, _: &Link, _: &Admission) {}
 
+/// The deterministic random stream endpoint `id` receives in a simulation
+/// seeded with `seed`.
+///
+/// Public so alternate drivers (the UDP replay host in `mpcc-udp`, the
+/// sim-vs-real cross-check harness) can hand an endpoint the exact stream
+/// it would draw inside the simulator — a prerequisite for reproducing its
+/// controller decisions bit-for-bit.
+pub fn endpoint_rng(seed: u64, id: EndpointId) -> SimRng {
+    SimRng::seed_from_u64(0).fork(seed, splitmix64(0xEE00 ^ id.0 as u64))
+}
+
 /// The top-level simulator: owns links, paths, endpoints and the event loop.
 pub struct Simulation {
     seed: u64,
@@ -371,10 +385,24 @@ impl Simulation {
     pub fn add_endpoint(&mut self, ep: Box<dyn Endpoint>) -> EndpointId {
         let id = EndpointId(self.endpoints.len() as u32);
         self.endpoints.push(Some(ep));
-        self.ep_rngs
-            .push(SimRng::seed_from_u64(0).fork(self.seed, splitmix64(0xEE00 ^ id.0 as u64)));
+        self.ep_rngs.push(endpoint_rng(self.seed, id));
         self.started.push(id);
         id
+    }
+
+    /// Schedules `pkt` to arrive at its destination endpoint at absolute
+    /// time `at`, bypassing every link. Replay harnesses use this to feed
+    /// a recorded packet trace back into a simulation (see [`crate::replay`]).
+    ///
+    /// Injected arrivals scheduled before the simulation runs dispatch
+    /// ahead of any same-instant timer armed during the run: the event
+    /// queue is FIFO within a timestamp, and the injection was enqueued
+    /// first. The UDP replay host preserves exactly this ordering.
+    pub fn inject(&mut self, at: SimTime, mut pkt: Packet) {
+        // Mark the packet past its last hop so arrival delivers it instead
+        // of re-offering it to a link of whatever path id it recorded.
+        pkt.hop = usize::MAX;
+        self.events.schedule(at, Event::Arrive(pkt));
     }
 
     /// Schedules a link parameter change at absolute time `at`.
@@ -623,6 +651,7 @@ impl Simulation {
 mod tests {
     use super::*;
     use crate::packet::{AckHeader, DataHeader, SackBlocks, MSS_PAYLOAD, MSS_WIRE};
+    use std::any::Any;
 
     /// Sends `count` packets at start, records ACK arrival times.
     struct TestSender {
@@ -634,7 +663,7 @@ mod tests {
     }
 
     impl Endpoint for TestSender {
-        fn start(&mut self, ctx: &mut Ctx<'_>) {
+        fn start(&mut self, ctx: &mut dyn HostCtx) {
             for seq in 0..self.count {
                 ctx.send(
                     self.path,
@@ -652,11 +681,11 @@ mod tests {
             }
             ctx.set_timer(SimTime::from_millis(500), 7);
         }
-        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut dyn HostCtx) {
             assert!(pkt.ack().is_some());
             self.acks.push(ctx.now());
         }
-        fn on_timer(&mut self, token: u64, _ctx: &mut Ctx<'_>) {
+        fn on_timer(&mut self, token: u64, _ctx: &mut dyn HostCtx) {
             assert_eq!(token, 7);
             self.timer_fired = true;
         }
@@ -674,14 +703,13 @@ mod tests {
     }
 
     impl Endpoint for TestReceiver {
-        fn start(&mut self, _ctx: &mut Ctx<'_>) {}
-        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        fn start(&mut self, _ctx: &mut dyn HostCtx) {}
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut dyn HostCtx) {
             let data = *pkt.data().expect("receiver gets data");
             self.received += 1;
-            let rev = ctx.path_reverse_delay(pkt.path);
-            ctx.send_direct(
+            ctx.send_reverse(
+                pkt.path,
                 pkt.src,
-                rev,
                 crate::packet::ACK_SIZE,
                 Header::Ack(AckHeader {
                     subflow: data.subflow,
@@ -694,7 +722,7 @@ mod tests {
                 }),
             );
         }
-        fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+        fn on_timer(&mut self, _token: u64, _ctx: &mut dyn HostCtx) {}
         fn as_any(&self) -> &dyn Any {
             self
         }

@@ -11,12 +11,14 @@
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod profiler;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod units;
 
+pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use profiler::{ProfCat, ProfileReport, Profiler, Stamp};
 pub use queue::EventQueue;
 pub use rng::SimRng;

@@ -11,11 +11,17 @@
 //! Congestion controllers plug in via [`MultipathCc`]; one instance governs
 //! all subflows of a connection, so both coupled (LIA/OLIA/Balia/MPCC) and
 //! uncoupled designs are expressible.
+//!
+//! Nothing here names a driver: endpoints interact with the outside world
+//! only through the [`HostCtx`] seam (see [`io`]), so the same compiled
+//! transport runs under the packet-level simulator (`mpcc-netsim`) and
+//! under real UDP sockets (`mpcc-udp`).
 
 #![warn(missing_docs)]
 
 pub mod connection;
 pub mod controller;
+pub mod io;
 pub mod mi;
 pub mod ranges;
 pub mod receiver;
@@ -24,11 +30,17 @@ pub mod sack;
 pub mod scheduler;
 pub mod sender;
 pub mod subflow;
+pub mod wire;
 
 pub use connection::{ConnSend, Workload};
 pub use controller::{AckInfo, LossInfo, MiReport, MultipathCc};
+pub use io::{Endpoint, HostCtx, PacketTrace, TraceEntry};
 pub use receiver::{MpReceiver, ReceiverStats};
 pub use sack::{Chunk, Scoreboard};
 pub use scheduler::SchedulerKind;
 pub use sender::{MpSender, SenderConfig};
 pub use subflow::{Subflow, SubflowStats};
+pub use wire::{
+    AckHeader, DataHeader, EndpointId, Header, Packet, PathId, SackBlocks, SeqRange, ACK_SIZE,
+    MAX_SACK_BLOCKS, MSS_PAYLOAD, MSS_WIRE,
+};

@@ -5,10 +5,9 @@
 //! reassembly in the data-sequence space, and receive-window advertisement.
 //! Every data packet is acknowledged immediately (no delayed ACKs).
 
+use crate::io::{Endpoint, HostCtx};
 use crate::ranges::RangeSet;
-use mpcc_netsim::{
-    AckHeader, Ctx, Endpoint, Header, Packet, SackBlocks, SeqRange, ACK_SIZE, MAX_SACK_BLOCKS,
-};
+use crate::wire::{AckHeader, Header, Packet, SackBlocks, SeqRange, ACK_SIZE, MAX_SACK_BLOCKS};
 use mpcc_simcore::SimTime;
 use std::any::Any;
 /// Bound on remembered out-of-order subflow ranges (memory cap; see
@@ -165,9 +164,9 @@ impl MpReceiver {
 }
 
 impl Endpoint for MpReceiver {
-    fn start(&mut self, _ctx: &mut Ctx<'_>) {}
+    fn start(&mut self, _ctx: &mut dyn HostCtx) {}
 
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut dyn HostCtx) {
         let Some(data) = pkt.data() else {
             return;
         };
@@ -229,11 +228,10 @@ impl Endpoint for MpReceiver {
             data_acked: self.frontier,
             rcv_window: self.advertised_window(),
         };
-        let rev = ctx.path_reverse_delay(pkt.path);
-        ctx.send_direct(pkt.src, rev, ACK_SIZE, Header::Ack(ack));
+        ctx.send_reverse(pkt.path, pkt.src, ACK_SIZE, Header::Ack(ack));
     }
 
-    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+    fn on_timer(&mut self, _token: u64, _ctx: &mut dyn HostCtx) {}
 
     fn as_any(&self) -> &dyn Any {
         self

@@ -9,6 +9,12 @@ pub const MIN_RTO: SimDuration = SimDuration::from_millis(200);
 pub const MAX_RTO: SimDuration = SimDuration::from_secs(60);
 /// Window over which the minimum RTT is tracked (BBR uses 10 s).
 pub const MIN_RTT_WINDOW: SimDuration = SimDuration::from_secs(10);
+/// Floor applied to every RTT sample. The virtual clock cannot produce a
+/// zero RTT (every path has delay), but a real monotonic clock under
+/// coarse timer granularity can stamp send and ACK with the same reading;
+/// a zero sample would collapse `srtt`/`rttvar` toward zero and with them
+/// the RTO and every RTT-proportional controller decision.
+pub const MIN_RTT_SAMPLE: SimDuration = SimDuration::from_micros(1);
 
 /// Smoothed RTT state for one subflow.
 #[derive(Clone, Debug)]
@@ -43,7 +49,13 @@ impl RttEstimator {
     }
 
     /// Feeds one RTT sample taken at time `now`.
+    ///
+    /// Samples are clamped to [`MIN_RTT_SAMPLE`]; callers feeding
+    /// timestamp pairs should discard non-monotonic ones (send time after
+    /// ACK time) entirely rather than feed the saturated zero here — see
+    /// `Scoreboard::on_ack`.
     pub fn on_sample(&mut self, rtt: SimDuration, now: SimTime) {
+        let rtt = rtt.max(MIN_RTT_SAMPLE);
         self.samples += 1;
         self.latest = rtt;
         match self.srtt {
@@ -195,6 +207,37 @@ mod tests {
         assert_eq!(e.min_rtt(SimTime::from_secs(15)), ms(50));
         // Once everything has expired, fall back to the latest sample.
         assert_eq!(e.min_rtt(SimTime::from_secs(60)), ms(50));
+    }
+
+    #[test]
+    fn zero_sample_is_clamped_to_floor() {
+        // A coarse real clock can stamp send and ACK identically; the
+        // estimator must never ingest a zero RTT.
+        let mut e = RttEstimator::new();
+        e.on_sample(SimDuration::ZERO, SimTime::from_millis(1));
+        assert_eq!(e.latest(), MIN_RTT_SAMPLE);
+        assert_eq!(e.srtt_or(SimDuration::ZERO), MIN_RTT_SAMPLE);
+        assert_eq!(e.min_ever(), MIN_RTT_SAMPLE);
+        assert!(e.rto() >= MIN_RTO);
+        // Zero samples must not poison an established estimate to zero.
+        let mut e = RttEstimator::new();
+        e.on_sample(ms(50), SimTime::from_millis(1));
+        e.on_sample(SimDuration::ZERO, SimTime::from_millis(2));
+        assert!(e.srtt_or(SimDuration::ZERO) > SimDuration::ZERO);
+        assert_eq!(e.min_rtt(SimTime::from_millis(2)), MIN_RTT_SAMPLE);
+    }
+
+    #[test]
+    fn duplicate_timestamp_samples_are_idempotent_on_min() {
+        // Two samples at the same `now` (same coarse clock reading) must
+        // both land; the windowed minimum keeps the smaller.
+        let mut e = RttEstimator::new();
+        let now = SimTime::from_secs(1);
+        e.on_sample(ms(40), now);
+        e.on_sample(ms(20), now);
+        assert_eq!(e.samples(), 2);
+        assert_eq!(e.min_rtt(now), ms(20));
+        assert_eq!(e.latest(), ms(20));
     }
 
     #[test]

@@ -8,8 +8,8 @@
 
 use crate::rtt::RttEstimator;
 #[cfg(test)]
-use mpcc_netsim::SackBlocks;
-use mpcc_netsim::{AckHeader, SeqRange};
+use crate::wire::SackBlocks;
+use crate::wire::{AckHeader, SeqRange};
 use mpcc_simcore::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -129,9 +129,15 @@ impl Scoreboard {
         };
         // RTT sample from the triggering packet, taken before any marking
         // (the cumulative portion may also cover it).
+        // A virtual clock can never hand us an echo timestamp from the
+        // future, but a real driver under coarse timer granularity can
+        // (the receiver stamped `now` off a fresher clock reading than
+        // ours). Such a sample carries no RTT information — ignore it
+        // rather than letting `saturating_since` launder it into zero.
         if self
             .idx_of(ack.ack_seq)
             .is_some_and(|i| self.outstanding[i].1.is_some())
+            && ack.echo_sent_at <= now
         {
             out.rtt_sample = Some(now.saturating_since(ack.echo_sent_at));
         }

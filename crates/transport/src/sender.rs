@@ -2,17 +2,17 @@
 //!
 //! `MpSender` owns the connection's subflows, one congestion controller for
 //! the whole connection, the scheduler, and the send-side connection state.
-//! It implements [`mpcc_netsim::Endpoint`], reacting to ACK arrivals and its
-//! own pacing / monitor-interval / retransmission timers.
+//! It implements [`Endpoint`], reacting to ACK arrivals and its own pacing /
+//! monitor-interval / retransmission timers — under whichever driver
+//! (simulated or real) hands it a [`HostCtx`].
 
 use crate::connection::{ConnSend, Workload};
 use crate::controller::{AckInfo, LossInfo, MultipathCc};
+use crate::io::{Endpoint, HostCtx};
 use crate::sack::bw_sample;
 use crate::scheduler::{self, SchedulerKind};
 use crate::subflow::{Subflow, SubflowStats};
-use mpcc_netsim::{
-    Ctx, DataHeader, Endpoint, EndpointId, Header, Packet, PathId, MSS_PAYLOAD, MSS_WIRE,
-};
+use crate::wire::{DataHeader, EndpointId, Header, Packet, PathId, MSS_PAYLOAD, MSS_WIRE};
 use mpcc_simcore::{Rate, SimDuration, SimTime};
 use mpcc_telemetry::{Layer, Tracer, TransportEvent};
 use std::any::Any;
@@ -203,7 +203,7 @@ impl MpSender {
     // Internal machinery
     // ------------------------------------------------------------------
 
-    fn begin(&mut self, ctx: &mut Ctx<'_>) {
+    fn begin(&mut self, ctx: &mut dyn HostCtx) {
         self.started = true;
         // Adopt the simulation's tracer; the sender's endpoint id names
         // the connection in every event from here down, including the
@@ -213,13 +213,9 @@ impl MpSender {
         self.cc.set_tracer(self.tracer.clone(), self.conn_id);
         let now = ctx.now();
         for (i, &path) in self.cfg.paths.iter().enumerate() {
-            // Propagation-only RTT estimate from the path description.
-            let fwd = ctx
-                .path_links(path)
-                .iter()
-                .map(|&l| ctx.link_params(l).delay)
-                .fold(SimDuration::ZERO, |a, b| a + b);
-            let base_rtt = fwd + ctx.path_reverse_delay(path);
+            // A-priori RTT estimate from the driver (propagation delays in
+            // the simulator, a configured hint on a socket driver).
+            let base_rtt = ctx.path_base_rtt(path);
             self.subflows.push(Subflow::new(path, base_rtt));
             self.cc.init_subflow(i, now);
         }
@@ -234,13 +230,13 @@ impl MpSender {
 
     /// For paced (application-limited) workloads: wake up at the next data
     /// release so staging resumes even when no ACKs are pending.
-    fn arm_app_timer(&mut self, ctx: &mut Ctx<'_>) {
+    fn arm_app_timer(&mut self, ctx: &mut dyn HostCtx) {
         if let Some(at) = self.conn.next_release(ctx.now()) {
             ctx.set_timer(at, token(K_APP, 0, 0));
         }
     }
 
-    fn begin_mi(&mut self, sf: usize, ctx: &mut Ctx<'_>) {
+    fn begin_mi(&mut self, sf: usize, ctx: &mut dyn HostCtx) {
         let now = ctx.now();
         let rate = self.cc.begin_mi(sf, now);
         let subflow = &mut self.subflows[sf];
@@ -366,7 +362,7 @@ impl MpSender {
     }
 
     /// Assigns data to subflows per the scheduler and triggers transmission.
-    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+    fn pump(&mut self, ctx: &mut dyn HostCtx) {
         if self.done || !self.started {
             return;
         }
@@ -427,7 +423,7 @@ impl MpSender {
     }
 
     /// Transmits the head of `sf`'s staging queue, if the window allows.
-    fn send_one(&mut self, sf: usize, ctx: &mut Ctx<'_>) -> bool {
+    fn send_one(&mut self, sf: usize, ctx: &mut dyn HostCtx) -> bool {
         let cwnd = self.cwnd_of(sf);
         let now = ctx.now();
         let subflow = &mut self.subflows[sf];
@@ -481,7 +477,7 @@ impl MpSender {
         true
     }
 
-    fn arm_pacer(&mut self, sf: usize, ctx: &mut Ctx<'_>) {
+    fn arm_pacer(&mut self, sf: usize, ctx: &mut dyn HostCtx) {
         let cwnd = self.cwnd_of(sf);
         let subflow = &mut self.subflows[sf];
         if self.done || subflow.pacer_armed {
@@ -500,7 +496,7 @@ impl MpSender {
         ctx.set_timer(at, token(K_PACE, sf, subflow.pacer_epoch));
     }
 
-    fn on_pace(&mut self, sf: usize, epoch: u64, ctx: &mut Ctx<'_>) {
+    fn on_pace(&mut self, sf: usize, epoch: u64, ctx: &mut dyn HostCtx) {
         {
             let subflow = &mut self.subflows[sf];
             if !epoch_matches(epoch, subflow.pacer_epoch) {
@@ -526,7 +522,7 @@ impl MpSender {
         self.pump(ctx);
     }
 
-    fn arm_rto(&mut self, sf: usize, ctx: &mut Ctx<'_>) {
+    fn arm_rto(&mut self, sf: usize, ctx: &mut dyn HostCtx) {
         let now = ctx.now();
         let subflow = &mut self.subflows[sf];
         if subflow.scoreboard.inflight_bytes() == 0 {
@@ -540,7 +536,7 @@ impl MpSender {
         }
     }
 
-    fn on_rto_timer(&mut self, sf: usize, ctx: &mut Ctx<'_>) {
+    fn on_rto_timer(&mut self, sf: usize, ctx: &mut dyn HostCtx) {
         let now = ctx.now();
         {
             let subflow = &mut self.subflows[sf];
@@ -581,7 +577,7 @@ impl MpSender {
         self.arm_rto(sf, ctx);
     }
 
-    fn on_ack(&mut self, pkt: &Packet, ctx: &mut Ctx<'_>) {
+    fn on_ack(&mut self, pkt: &Packet, ctx: &mut dyn HostCtx) {
         let ack = *pkt.ack().expect("sender receives ACKs");
         let sf = ack.subflow as usize;
         if sf >= self.subflows.len() {
@@ -706,7 +702,7 @@ impl MpSender {
 }
 
 impl Endpoint for MpSender {
-    fn start(&mut self, ctx: &mut Ctx<'_>) {
+    fn start(&mut self, ctx: &mut dyn HostCtx) {
         if self.cfg.start_at > ctx.now() {
             let at = self.cfg.start_at;
             ctx.set_timer(at, token(K_START, 0, 0));
@@ -715,13 +711,13 @@ impl Endpoint for MpSender {
         }
     }
 
-    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut dyn HostCtx) {
         if pkt.ack().is_some() {
             self.on_ack(&pkt, ctx);
         }
     }
 
-    fn on_timer(&mut self, tok: u64, ctx: &mut Ctx<'_>) {
+    fn on_timer(&mut self, tok: u64, ctx: &mut dyn HostCtx) {
         let (kind, sf, epoch) = untoken(tok);
         match kind {
             K_START => {

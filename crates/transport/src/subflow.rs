@@ -6,7 +6,7 @@ use crate::mi::MiTracker;
 use crate::rtt::RttEstimator;
 use crate::sack::{Chunk, Scoreboard};
 use crate::scheduler::SubflowView;
-use mpcc_netsim::PathId;
+use crate::wire::PathId;
 use mpcc_simcore::{Rate, SimDuration, SimTime};
 use std::collections::VecDeque;
 

@@ -1,0 +1,290 @@
+//! On-wire packet representation.
+//!
+//! These are the types the transport puts on — and expects back from —
+//! whatever medium carries its packets: the packet-level simulator
+//! (`mpcc-netsim`) or real UDP sockets (`mpcc-udp`). A packet carries one
+//! of two transport headers: a data segment (subflow sequence number plus
+//! an MPTCP-style data sequence number) or a selective acknowledgement.
+//! The header layouts mirror what the paper's kernel implementation puts
+//! on the wire (TCP + MPTCP DSS option + SACK option), at the granularity
+//! the congestion controllers actually consume.
+//!
+//! The types live here, in the transport crate, so that drivers depend on
+//! the transport rather than the other way around: transport code can be
+//! compiled, tested, and deployed without any simulator in the tree.
+
+use mpcc_simcore::SimTime;
+use std::fmt;
+
+/// Maximum segment size on the wire, including headers (Ethernet MTU).
+pub const MSS_WIRE: u64 = 1500;
+/// Payload bytes per full-sized segment (MTU minus IP/TCP/MPTCP headers).
+pub const MSS_PAYLOAD: u64 = 1448;
+/// Size of a pure ACK on the wire.
+pub const ACK_SIZE: u64 = 64;
+
+/// Maximum SACK blocks carried per ACK (mirrors TCP's option-space limit
+/// of 3–4 blocks; the receiver reports the highest ranges).
+pub const MAX_SACK_BLOCKS: usize = 4;
+
+/// Handle to an endpoint (a transport sender or receiver).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EndpointId(pub u32);
+
+/// Handle to a forward path. In the simulator this indexes an ordered
+/// list of links; on a real driver it indexes a socket pair.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathId(pub u32);
+
+impl fmt::Debug for EndpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+impl fmt::Debug for PathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path{}", self.0)
+    }
+}
+
+/// A half-open range `[start, end)` of subflow sequence numbers, used in
+/// SACK blocks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SeqRange {
+    /// First sequence number covered.
+    pub start: u64,
+    /// One past the last sequence number covered.
+    pub end: u64,
+}
+
+impl SeqRange {
+    /// Number of sequence numbers covered.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// `true` if the range covers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// `true` if `seq` falls inside the range.
+    pub fn contains(&self, seq: u64) -> bool {
+        (self.start..self.end).contains(&seq)
+    }
+}
+
+/// The SACK blocks of one ACK, inlined at fixed capacity so building and
+/// copying an [`AckHeader`] never allocates (the wire format is equally
+/// bounded: TCP fits at most 3–4 SACK blocks in its option space).
+///
+/// Blocks are kept in the order the receiver reports them: highest range
+/// first. Dereferences to a slice, so iteration and indexing read like the
+/// `Vec` it replaces.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SackBlocks {
+    len: u8,
+    blocks: [SeqRange; MAX_SACK_BLOCKS],
+}
+
+impl SackBlocks {
+    /// No blocks.
+    pub const EMPTY: SackBlocks = SackBlocks {
+        len: 0,
+        blocks: [SeqRange { start: 0, end: 0 }; MAX_SACK_BLOCKS],
+    };
+
+    /// Creates an empty block list.
+    pub fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// Builds a block list from the first [`MAX_SACK_BLOCKS`] ranges of an
+    /// iterator (any excess is silently dropped, as on the wire).
+    pub fn from_ranges<I: IntoIterator<Item = SeqRange>>(ranges: I) -> Self {
+        let mut out = Self::EMPTY;
+        for r in ranges {
+            if !out.push(r) {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Appends a block; returns `false` (dropping it) once full.
+    pub fn push(&mut self, r: SeqRange) -> bool {
+        if (self.len as usize) < MAX_SACK_BLOCKS {
+            self.blocks[self.len as usize] = r;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The blocks as a slice.
+    pub fn as_slice(&self) -> &[SeqRange] {
+        &self.blocks[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for SackBlocks {
+    type Target = [SeqRange];
+    fn deref(&self) -> &[SeqRange] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a SackBlocks {
+    type Item = &'a SeqRange;
+    type IntoIter = std::slice::Iter<'a, SeqRange>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<SeqRange> for SackBlocks {
+    fn from_iter<I: IntoIterator<Item = SeqRange>>(iter: I) -> Self {
+        Self::from_ranges(iter)
+    }
+}
+
+/// Transport header of a data segment.
+///
+/// Subflow sequence numbers count *packets* (not bytes) within one subflow;
+/// data sequence numbers (DSN) count *bytes* at the connection level, as in
+/// MPTCP's data sequence space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DataHeader {
+    /// Which of the connection's subflows this segment travels on.
+    pub subflow: u32,
+    /// Subflow-level packet number (monotonically increasing per subflow).
+    pub seq: u64,
+    /// First connection-level byte carried by this segment.
+    pub dsn: u64,
+    /// Payload bytes carried.
+    pub payload_len: u64,
+    /// Sender timestamp, echoed back by the receiver for RTT measurement.
+    pub sent_at: SimTime,
+    /// `true` if this DSN range was previously transmitted (on any subflow).
+    pub is_retransmission: bool,
+}
+
+/// Transport header of an acknowledgement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AckHeader {
+    /// Subflow being acknowledged.
+    pub subflow: u32,
+    /// Next subflow sequence number expected in order (cumulative ACK).
+    pub cum_ack: u64,
+    /// Out-of-order ranges received (highest first, bounded capacity).
+    pub sack: SackBlocks,
+    /// Sequence number of the segment that triggered this ACK.
+    pub ack_seq: u64,
+    /// Echo of that segment's `sent_at`, for RTT measurement.
+    pub echo_sent_at: SimTime,
+    /// Connection-level bytes delivered in order to the application so far
+    /// (MPTCP data-level ACK); the sender uses this for goodput accounting.
+    pub data_acked: u64,
+    /// Receive-window credit: connection-level bytes the receiver can still
+    /// buffer beyond `data_acked`.
+    pub rcv_window: u64,
+}
+
+/// Transport payload of a packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Header {
+    /// A data segment.
+    Data(DataHeader),
+    /// A selective acknowledgement.
+    Ack(AckHeader),
+}
+
+/// A packet in flight. `Copy`: the header is fully inline (see
+/// [`SackBlocks`]), so duplicating a packet is a stack copy, and a driver's
+/// event loop never heap-allocates to move one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Driver-assigned packet id, unique within one driver (diagnostics
+    /// only; not on the wire).
+    pub id: u64,
+    /// Endpoint that sent the packet (the "source address").
+    pub src: EndpointId,
+    /// Endpoint that will receive the packet.
+    pub dst: EndpointId,
+    /// Path the packet follows (forward direction only).
+    pub path: PathId,
+    /// Driver-internal routing scratch. The simulator uses it as the index
+    /// of the next link still to traverse; socket drivers leave it at
+    /// `usize::MAX` ("past the last hop"). Transport code never reads it.
+    pub hop: usize,
+    /// Bytes on the wire.
+    pub size: u64,
+    /// Transport header.
+    pub header: Header,
+}
+
+impl Packet {
+    /// `true` if this is a data segment.
+    pub fn is_data(&self) -> bool {
+        matches!(self.header, Header::Data(_))
+    }
+
+    /// The data header, if this is a data segment.
+    pub fn data(&self) -> Option<&DataHeader> {
+        match &self.header {
+            Header::Data(d) => Some(d),
+            Header::Ack(_) => None,
+        }
+    }
+
+    /// The ACK header, if this is an acknowledgement.
+    pub fn ack(&self) -> Option<&AckHeader> {
+        match &self.header {
+            Header::Ack(a) => Some(a),
+            Header::Data(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_range_basics() {
+        let r = SeqRange { start: 10, end: 14 };
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert!(r.contains(10));
+        assert!(r.contains(13));
+        assert!(!r.contains(14));
+        let e = SeqRange { start: 5, end: 5 };
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn header_accessors() {
+        let pkt = Packet {
+            id: 1,
+            src: EndpointId(9),
+            dst: EndpointId(0),
+            path: PathId(0),
+            hop: 0,
+            size: MSS_WIRE,
+            header: Header::Data(DataHeader {
+                subflow: 0,
+                seq: 7,
+                dsn: 1448,
+                payload_len: MSS_PAYLOAD,
+                sent_at: SimTime::ZERO,
+                is_retransmission: false,
+            }),
+        };
+        assert!(pkt.is_data());
+        assert_eq!(pkt.data().unwrap().seq, 7);
+        assert!(pkt.ack().is_none());
+    }
+}

@@ -1,0 +1,30 @@
+//! # mpcc-udp
+//!
+//! A real-socket UDP data plane for the MPCC transport: the second driver
+//! behind the [`mpcc_transport::HostCtx`] seam (the first is the
+//! `mpcc-netsim` simulator).
+//!
+//! Three pieces:
+//!
+//! * [`codec`] — the binary wire format: one datagram per packet,
+//!   fixed-width little-endian fields, total (panic-free) decoding;
+//! * [`UdpPeer`] — a work-batching non-blocking socket loop under a
+//!   monotonic clock, one UDP socket per path, driving an unmodified
+//!   transport endpoint ([`MpSender`](mpcc_transport::MpSender) /
+//!   [`MpReceiver`](mpcc_transport::MpReceiver));
+//! * [`ReplayHost`] — the same endpoint-facing machinery with I/O and the
+//!   real clock removed, replaying a recorded packet trace under a manual
+//!   clock. This is what makes the socket path *testable against the
+//!   simulator*: replaying one recorded ACK trace through both drivers
+//!   must reproduce the controller's decisions bit-for-bit (see
+//!   DESIGN.md §14 and `tests/udp_crosscheck.rs` at the workspace root).
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod host;
+pub mod replay;
+
+pub use codec::{decode, encode, DecodeError};
+pub use host::{HostStats, UdpPath, UdpPeer};
+pub use replay::{ReplayHost, ReplayStats};

@@ -1,0 +1,98 @@
+//! Real-socket loopback round trip: an unmodified MPCC sender/receiver
+//! pair moves a finite transfer over two UDP "paths" on 127.0.0.1, each
+//! path a separate socket pair, driven by the mpcc-udp non-blocking
+//! socket loop under a monotonic clock. This is the tier-1 guarantee
+//! that the socket data plane actually works end to end — wire codec,
+//! peer learning, timer loop, RTT estimation from real clock readings —
+//! not just under replay.
+
+use mpcc::{Mpcc, MpccConfig};
+use mpcc_simcore::{SimDuration, SimTime};
+use mpcc_telemetry::Tracer;
+use mpcc_transport::wire::{EndpointId, PathId};
+use mpcc_transport::{MpReceiver, MpSender, SchedulerKind, SenderConfig};
+use mpcc_udp::{UdpPath, UdpPeer};
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const TRANSFER_BYTES: u64 = 2_000_000;
+const DEADLINE: SimTime = SimTime::from_secs(30);
+const RTT_HINT: SimDuration = SimDuration::from_millis(2);
+
+#[test]
+fn finite_transfer_completes_over_two_loopback_paths() {
+    // Receiver side: two listening sockets; peers learned on first
+    // datagram.
+    let r0 = UdpSocket::bind("127.0.0.1:0").unwrap();
+    let r1 = UdpSocket::bind("127.0.0.1:0").unwrap();
+    let raddr0 = r0.local_addr().unwrap();
+    let raddr1 = r1.local_addr().unwrap();
+    let mut receiver = UdpPeer::new(
+        EndpointId(1),
+        mpcc_netsim::endpoint_rng(1, EndpointId(1)),
+        Tracer::off(),
+        vec![
+            UdpPath::listening(r0, RTT_HINT),
+            UdpPath::listening(r1, RTT_HINT),
+        ],
+        Box::new(MpReceiver::new(300_000_000)),
+    )
+    .unwrap();
+
+    // Sender side: two sockets aimed at the receiver's ports.
+    let s0 = UdpSocket::bind("127.0.0.1:0").unwrap();
+    let s1 = UdpSocket::bind("127.0.0.1:0").unwrap();
+    let cfg = SenderConfig::file(EndpointId(1), vec![PathId(0), PathId(1)], TRANSFER_BYTES)
+        .with_scheduler(SchedulerKind::paper_rate_based());
+    let cc = Box::new(Mpcc::new(MpccConfig::loss().with_seed(1)));
+    let mut sender = UdpPeer::new(
+        EndpointId(0),
+        mpcc_netsim::endpoint_rng(1, EndpointId(0)),
+        Tracer::off(),
+        vec![
+            UdpPath::to(s0, raddr0, RTT_HINT),
+            UdpPath::to(s1, raddr1, RTT_HINT),
+        ],
+        Box::new(MpSender::new(cfg, cc)),
+    )
+    .unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_rx = stop.clone();
+    let rx_thread = std::thread::spawn(move || {
+        receiver.run(DEADLINE, |_| stop_rx.load(Ordering::Relaxed));
+        receiver
+    });
+
+    let completed = sender.run(DEADLINE, |ep| {
+        ep.as_any()
+            .downcast_ref::<MpSender>()
+            .expect("sender endpoint")
+            .is_complete()
+    });
+    stop.store(true, Ordering::Relaxed);
+    let receiver = rx_thread.join().expect("receiver thread");
+
+    let now = sender.now();
+    let snd = sender.endpoint::<MpSender>();
+    assert!(
+        completed,
+        "transfer did not complete before the deadline: {} of {TRANSFER_BYTES} bytes acked",
+        snd.data_acked()
+    );
+    assert_eq!(snd.data_acked(), TRANSFER_BYTES);
+    // Both paths must have carried (and had acknowledged) real data —
+    // multipath, not a single-path transfer with a dead leg.
+    for i in 0..2 {
+        let st = snd.subflow_stats(i, now);
+        assert!(st.delivered_bytes > 0, "path {i} delivered no data: {st:?}");
+        // The RTT estimator must have fed on real clock samples.
+        assert!(st.latest_rtt > SimDuration::ZERO, "path {i}: {st:?}");
+    }
+    let rx_stats = receiver.stats();
+    assert!(rx_stats.received_datagrams > 0);
+    assert_eq!(rx_stats.decode_errors, 0, "{rx_stats:?}");
+    let tx_stats = sender.stats();
+    assert!(tx_stats.sent_datagrams * 1448 >= TRANSFER_BYTES);
+}
