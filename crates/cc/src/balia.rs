@@ -18,7 +18,15 @@ use mpcc_transport::{AckInfo, LossInfo};
 #[derive(Default)]
 pub struct BaliaRule;
 
-fn alpha_i(wins: &[WinState], i: usize) -> f64 {
+/// Cap on Balia's multiplicative-decrease factor: a loss shrinks the
+/// window by `w/2 · min(α_i, BALIA_MD_CAP)` (Peng et al. §V fix the cap
+/// at 3/2, bounding the worst-case decrease at 3/4 of the window).
+pub const BALIA_MD_CAP: f64 = 1.5;
+
+/// Balia's per-subflow rate-imbalance factor `α_i = max_k(x_k)/x_i`,
+/// floored at 1 (public so the theory-side fluid counterpart in
+/// `mpcc::theory::ode` can be pinned against this exact definition).
+pub fn balia_alpha(wins: &[WinState], i: usize) -> f64 {
     let x_i = wins[i].pkts_per_sec();
     if x_i <= 0.0 {
         return 1.0;
@@ -42,17 +50,17 @@ impl CoupledIncrease for BaliaRule {
         if x_i <= 0.0 || x_total <= 0.0 {
             return 0.0;
         }
-        let a = alpha_i(wins, i);
+        let a = balia_alpha(wins, i);
         let rtt_i = wins[i].rtt_secs();
         let n = info.acked_packets as f64;
         n * (x_i / (rtt_i * x_total * x_total)) * ((1.0 + a) / 2.0) * ((4.0 + a) / 5.0)
     }
 
     fn decrease(&mut self, wins: &mut [WinState], info: &LossInfo) {
-        let a = alpha_i(wins, info.subflow);
+        let a = balia_alpha(wins, info.subflow);
         let win = &mut wins[info.subflow];
         win.loss_events += 1;
-        let dec = (win.cwnd / 2.0) * a.min(1.5);
+        let dec = (win.cwnd / 2.0) * a.min(BALIA_MD_CAP);
         win.cwnd = (win.cwnd - dec).max(MIN_CWND);
         win.ssthresh = win.cwnd;
     }
@@ -101,8 +109,8 @@ mod tests {
             let mut cc = setup(&[5.0, 20.0], &[50, 50]);
             (0..2).map(|i| cc.window_mut(i).clone()).collect::<Vec<_>>()
         };
-        assert!((alpha_i(&wins, 0) - 4.0).abs() < 1e-9);
-        assert!((alpha_i(&wins, 1) - 1.0).abs() < 1e-9);
+        assert!((balia_alpha(&wins, 0) - 4.0).abs() < 1e-9);
+        assert!((balia_alpha(&wins, 1) - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -111,6 +119,24 @@ mod tests {
         let mut cc = setup(&[4.0, 400.0], &[50, 50]);
         cc.on_loss(&test_loss(0));
         assert!((cc.window(0).cwnd - 4.0 * 0.25).abs() < 1e-9 || cc.window(0).cwnd == MIN_CWND);
+    }
+
+    #[test]
+    fn constants_pinned_to_paper() {
+        // Peng et al. fix the decrease cap at 3/2 and the increase
+        // polynomial at (1+α)/2 · (4+α)/5; pin both so a refactor can't
+        // silently drift the controller away from the published dynamics.
+        assert_eq!(BALIA_MD_CAP, 1.5);
+        // α = 2 (x_max/x_i = 2): increase = x_i/(rtt·x_tot²)·(3/2)·(6/5).
+        let mut cc = setup(&[10.0, 20.0], &[50, 50]);
+        let wins: Vec<WinState> = (0..2).map(|i| cc.window(i).clone()).collect();
+        assert!((balia_alpha(&wins, 0) - 2.0).abs() < 1e-9);
+        let x0 = wins[0].pkts_per_sec();
+        let x_tot: f64 = wins.iter().map(|w| w.pkts_per_sec()).sum();
+        let expect = x0 / (wins[0].rtt_secs() * x_tot * x_tot) * (3.0 / 2.0) * (6.0 / 5.0);
+        let before = cc.window(0).cwnd;
+        cc.on_ack(&test_ack(0, 1, 50));
+        assert!((cc.window(0).cwnd - before - expect).abs() < 1e-12);
     }
 
     #[test]

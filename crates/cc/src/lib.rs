@@ -24,10 +24,10 @@ pub mod uncoupled;
 pub mod window;
 pub mod wvegas;
 
-pub use balia::balia;
+pub use balia::{balia, balia_alpha, BALIA_MD_CAP};
 pub use bbr::Bbr;
 pub use cubic::cubic;
-pub use lia::lia;
+pub use lia::{lia, lia_alpha};
 pub use mpcubic::MpCubic;
 pub use olia::olia;
 pub use reno::reno;

@@ -193,6 +193,24 @@ mod tests {
     }
 
     #[test]
+    fn alpha_magnitudes_pinned_to_paper() {
+        // Khalili et al. §III: for i ∈ B\M, α_i = 1/(d·|B\M|); for i ∈ M,
+        // α_i = −1/(d·|M|); the α vector always sums to zero. Pin the
+        // magnitudes on a 3-path state with |B\M| = 1, |M| = 2.
+        let mut cc = setup(&[5.0, 20.0, 20.0], &[50, 50, 50]);
+        cc.window_mut(0).delivered_bytes = 10_000_000; // best path, small w
+        cc.window_mut(1).delivered_bytes = 10_000;
+        cc.window_mut(2).delivered_bytes = 10_000;
+        let wins: Vec<WinState> = (0..3).map(|i| cc.window(i).clone()).collect();
+        let alphas = cc.algo_mut().alphas(&wins);
+        let d = 3.0;
+        assert!((alphas[0] - 1.0 / (d * 1.0)).abs() < 1e-12, "{alphas:?}");
+        assert!((alphas[1] + 1.0 / (d * 2.0)).abs() < 1e-12, "{alphas:?}");
+        assert!((alphas[2] + 1.0 / (d * 2.0)).abs() < 1e-12, "{alphas:?}");
+        assert!(alphas.iter().sum::<f64>().abs() < 1e-12);
+    }
+
+    #[test]
     fn loss_interval_tracks_between_losses() {
         let mut iv = LossInterval::default();
         assert_eq!(iv.ell(5000), 5000.0);

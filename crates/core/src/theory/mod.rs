@@ -1,14 +1,18 @@
 //! Theory companion to the paper's §4–§5 and Appendices A–C: exact LMMF
 //! allocations (the equilibria Theorems 4.1/5.1 characterize), fluid-model
 //! gradient dynamics (Theorem 5.2's convergence, Fig. 2's gradient field),
-//! and a small max-flow solver underneath.
+//! a small max-flow solver underneath, and an RK4 reference integrator for
+//! Peng et al.'s coupled-controller fluid ODE (arXiv 1308.3119) — the
+//! transient-dynamics oracle behind `experiments check --fluid`.
 
 pub mod fluid;
 pub mod lmmf;
 pub mod maxflow;
+pub mod ode;
 
 pub use fluid::{
     fig2_gradients, fluid_converge, fluid_gradient, fluid_utility, is_equilibrium, is_lmmf,
     link_loads, link_loss, totals, RateConfig,
 };
 pub use lmmf::{lmmf_allocation, lmmf_with_flows, ParallelNetSpec};
+pub use ode::{CoupledKind, FluidConfig, FluidTopo, FluidTrajectory};

@@ -4,8 +4,9 @@
 //! [--faults SPEC]`, or `experiments all` / `experiments list`, or
 //! `experiments report FILE` (flight-recorder Markdown from a metrics
 //! stream), or `experiments udp [--udp-bytes N]` (real-socket loopback
-//! demo), or `experiments --bench [--bench-secs N] [--bench-reps N]
-//! [--bench-check FILE] [--bench-baseline NAME:EPS]`.
+//! demo), or `experiments check [--fluid] [--sweep] [--sweep-cases N]`
+//! (theory oracles), or `experiments --bench [--bench-secs N]
+//! [--bench-reps N] [--bench-check FILE] [--bench-baseline NAME:EPS]`.
 
 use mpcc_experiments::bench::{self, BenchConfig};
 use mpcc_experiments::check;
@@ -30,6 +31,9 @@ fn main() {
     let mut faults = FaultPlan::NONE;
     let mut bench_mode = false;
     let mut check_mode = false;
+    let mut check_fluid = false;
+    let mut check_sweep = false;
+    let mut sweep_cases: Option<usize> = None;
     let mut udp_mode = false;
     let mut udp_receiver = false;
     let mut udp_bytes = udp_demo::DEFAULT_BYTES;
@@ -127,6 +131,16 @@ fn main() {
                 return;
             }
             "check" => check_mode = true,
+            "--fluid" => check_fluid = true,
+            "--sweep" => check_sweep = true,
+            "--sweep-cases" => {
+                sweep_cases = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .expect("--sweep-cases needs an integer >= 1"),
+                );
+            }
             "report" => report_mode = true,
             "udp" => udp_mode = true,
             "--udp-receiver" => udp_receiver = true,
@@ -191,18 +205,44 @@ fn main() {
         if let Some(p) = &metrics_path {
             cfg.exec = cfg.exec.with_metrics(metrics(p));
         }
-        eprintln!(
-            ">>> running theory-oracle check (full={}, seed={}, jobs={})",
-            cfg.full,
-            cfg.seed,
-            cfg.exec.jobs()
-        );
-        match check::run(&cfg) {
+        // `check` alone runs the LMMF oracle; `--fluid` / `--sweep` select
+        // the trajectory oracle and the randomized equilibrium sweep
+        // instead (both flags run both). Any failing mode exits nonzero.
+        let announce = |name: &str| {
+            eprintln!(
+                ">>> running theory-oracle check [{name}] (full={}, seed={}, jobs={})",
+                cfg.full,
+                cfg.seed,
+                cfg.exec.jobs()
+            );
+        };
+        let mut failed = false;
+        let mut handle = |result: Result<String, String>| match result {
             Ok(report) => println!("{report}"),
             Err(report) => {
                 eprintln!("{report}");
-                std::process::exit(1);
+                failed = true;
             }
+        };
+        if check_fluid {
+            announce("fluid trajectory");
+            handle(check::run_fluid(&cfg));
+        }
+        if check_sweep {
+            announce("equilibrium sweep");
+            let mut specs = check::regression_specs();
+            specs.extend(check::random_sweep_specs(
+                cfg.seed,
+                check::sweep_case_count(sweep_cases),
+            ));
+            handle(check::run_sweep(&cfg, &specs));
+        }
+        if !check_fluid && !check_sweep {
+            announce("LMMF");
+            handle(check::run(&cfg));
+        }
+        if failed {
+            std::process::exit(1);
         }
         return;
     }
@@ -212,6 +252,7 @@ fn main() {
              [--out DIR] [--trace FILE] [--trace-filter controller,transport,link] \
              [--metrics FILE] [--metrics-bin 500ms] \
              [--faults 'reorder:p=0.05,extra=20ms;outage:at=5s,down=1s']\n\
+             or:    experiments check [--fluid] [--sweep] [--sweep-cases N] [--full] [--jobs N]\n\
              or:    experiments report METRICS_FILE...\n\
              or:    experiments udp [--udp-bytes N] [--seed N] [--trace FILE] [--metrics FILE]\n\
              or:    experiments --bench [--bench-secs N] [--bench-reps N] \

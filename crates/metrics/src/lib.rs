@@ -9,6 +9,8 @@
 
 pub mod series;
 pub mod stats;
+pub mod trajectory;
 
 pub use series::{sparkline, RateSeries, SeriesPoint};
 pub use stats::{jain_index, Summary};
+pub use trajectory::{TrajStats, Trajectory};

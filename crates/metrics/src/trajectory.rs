@@ -1,0 +1,226 @@
+//! Trajectory-shape metrics for the fluid-model oracle: given a rate
+//! trajectory (from either the packet-level simulator's `RateSeries` or
+//! the theory ODE integrator's samples), extract the transient-dynamics
+//! summary the Peng et al. comparison needs — equilibrium level,
+//! convergence time into a band around it, overshoot, and rise time.
+//! All measures are pure functions of the `(t, mbps)` samples so the
+//! simulator and the integrator are summarized identically.
+
+use crate::series::RateSeries;
+use mpcc_simcore::SimTime;
+
+/// A rate trajectory: `(seconds, Mbps)` samples in time order.
+#[derive(Clone, Debug, Default)]
+pub struct Trajectory {
+    /// Sample times, seconds.
+    pub secs: Vec<f64>,
+    /// Rates at those times, Mbps.
+    pub mbps: Vec<f64>,
+}
+
+/// Transient-dynamics summary of one trajectory (see DESIGN.md §15).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrajStats {
+    /// Equilibrium estimate: mean over the trailing `tail_frac` of samples.
+    pub final_mean: f64,
+    /// Earliest time after which the trajectory stays inside the
+    /// convergence band around `final_mean` forever. `f64::INFINITY` if it
+    /// never settles (or the band is empty).
+    pub convergence_secs: f64,
+    /// Peak excursion above equilibrium, as a fraction of `final_mean`
+    /// (0.0 when the trajectory never exceeds it, or equilibrium is ~0).
+    pub overshoot: f64,
+    /// First time the trajectory reaches 80% of `final_mean`
+    /// (responsiveness). `f64::INFINITY` if it never does.
+    pub rise_secs_80: f64,
+}
+
+impl Trajectory {
+    /// Builds a trajectory from explicit `(seconds, Mbps)` samples.
+    /// The two slices must be equally long.
+    pub fn from_samples(secs: &[f64], mbps: &[f64]) -> Self {
+        assert_eq!(secs.len(), mbps.len(), "sample slices must align");
+        Self {
+            secs: secs.to_vec(),
+            mbps: mbps.to_vec(),
+        }
+    }
+
+    /// Builds a trajectory from a simulator `RateSeries`.
+    pub fn from_series(series: &RateSeries) -> Self {
+        let mut secs = Vec::with_capacity(series.points().len());
+        let mut mbps = Vec::with_capacity(series.points().len());
+        for p in series.points() {
+            secs.push(p.t.saturating_since(SimTime::ZERO).as_secs_f64());
+            mbps.push(p.mbps);
+        }
+        Self { secs, mbps }
+    }
+
+    /// Sums a set of trajectories point-wise (e.g. subflows → connection).
+    /// All inputs must share the same sample times.
+    pub fn sum(parts: &[Trajectory]) -> Self {
+        let Some(first) = parts.first() else {
+            return Self::default();
+        };
+        let mut out = first.clone();
+        for p in &parts[1..] {
+            assert_eq!(p.secs.len(), out.secs.len(), "trajectories must align");
+            for (acc, v) in out.mbps.iter_mut().zip(&p.mbps) {
+                *acc += v;
+            }
+        }
+        out
+    }
+
+    /// Mean rate over samples with `t > from` seconds.
+    pub fn mean_after(&self, from: f64) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (t, v) in self.secs.iter().zip(&self.mbps) {
+            if *t > from {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Computes the transient summary. `tail_frac` of the duration
+    /// (trailing) defines the equilibrium estimate; the convergence band is
+    /// `final_mean ± max(band_rel·final_mean, band_abs_mbps)`.
+    pub fn stats(&self, tail_frac: f64, band_rel: f64, band_abs_mbps: f64) -> TrajStats {
+        let n = self.secs.len();
+        if n == 0 {
+            return TrajStats {
+                convergence_secs: f64::INFINITY,
+                rise_secs_80: f64::INFINITY,
+                ..TrajStats::default()
+            };
+        }
+        let t_end = self.secs[n - 1];
+        let tail_from = t_end * (1.0 - tail_frac.clamp(0.0, 1.0));
+        let final_mean = self.mean_after(tail_from);
+        let band = (band_rel * final_mean).max(band_abs_mbps);
+
+        // Convergence: last sample OUTSIDE the band marks the settle point;
+        // the trajectory is converged from the next sample on.
+        let mut convergence_secs = 0.0;
+        for (t, v) in self.secs.iter().zip(&self.mbps) {
+            if (v - final_mean).abs() > band {
+                convergence_secs = f64::INFINITY; // provisional: never settled…
+            } else if convergence_secs.is_infinite() {
+                convergence_secs = *t; // …until it re-enters the band.
+            }
+        }
+
+        let peak = self.mbps.iter().copied().fold(0.0_f64, f64::max);
+        let overshoot = if final_mean > 1e-9 {
+            ((peak - final_mean) / final_mean).max(0.0)
+        } else {
+            0.0
+        };
+
+        let target = 0.8 * final_mean;
+        let rise_secs_80 = self
+            .secs
+            .iter()
+            .zip(&self.mbps)
+            .find(|(_, v)| **v >= target)
+            .map_or(f64::INFINITY, |(t, _)| *t);
+
+        TrajStats {
+            final_mean,
+            convergence_secs,
+            overshoot,
+            rise_secs_80,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_then_flat() -> Trajectory {
+        // 0..10 s ramp to 100, then flat at 100 until 40 s.
+        let secs: Vec<f64> = (0..=80).map(|i| i as f64 * 0.5).collect();
+        let mbps: Vec<f64> = secs
+            .iter()
+            .map(|&t| if t < 10.0 { 10.0 * t } else { 100.0 })
+            .collect();
+        Trajectory::from_samples(&secs, &mbps)
+    }
+
+    #[test]
+    fn stats_of_settled_ramp() {
+        let s = ramp_then_flat().stats(0.25, 0.05, 0.0);
+        assert!((s.final_mean - 100.0).abs() < 1e-9);
+        // Band ±5: inside from t where 10t >= 95 → 9.5 s.
+        assert!((s.convergence_secs - 9.5).abs() < 1e-9);
+        assert_eq!(s.overshoot, 0.0);
+        // 80% of 100 = 80, reached at t = 8.0.
+        assert!((s.rise_secs_80 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overshoot_measures_peak_excursion() {
+        let secs: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let mbps: Vec<f64> = secs
+            .iter()
+            .map(|&t| if (5.0..7.0).contains(&t) { 30.0 } else { 20.0 })
+            .collect();
+        let s = Trajectory::from_samples(&secs, &mbps).stats(0.25, 0.1, 0.0);
+        assert!((s.final_mean - 20.0).abs() < 1e-9);
+        assert!((s.overshoot - 0.5).abs() < 1e-9);
+        // Re-enters the band at the first sample after the spike (t = 7).
+        assert!((s.convergence_secs - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_settling_is_infinite() {
+        let secs: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let mbps: Vec<f64> = secs
+            .iter()
+            .map(|&t| {
+                if (t as u64).is_multiple_of(2) {
+                    5.0
+                } else {
+                    50.0
+                }
+            })
+            .collect();
+        let s = Trajectory::from_samples(&secs, &mbps).stats(0.25, 0.05, 0.0);
+        assert!(s.convergence_secs.is_infinite());
+    }
+
+    #[test]
+    fn empty_trajectory_is_degenerate_not_panicking() {
+        let s = Trajectory::default().stats(0.25, 0.1, 1.0);
+        assert_eq!(s.final_mean, 0.0);
+        assert!(s.convergence_secs.is_infinite());
+        assert!(s.rise_secs_80.is_infinite());
+    }
+
+    #[test]
+    fn sum_adds_subflows_pointwise() {
+        let a = Trajectory::from_samples(&[0.0, 1.0], &[10.0, 20.0]);
+        let b = Trajectory::from_samples(&[0.0, 1.0], &[1.0, 2.0]);
+        let s = Trajectory::sum(&[a, b]);
+        assert_eq!(s.mbps, vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn from_series_preserves_points() {
+        let mut rs = RateSeries::new();
+        rs.push_cumulative(SimTime::ZERO, 0);
+        rs.push_cumulative(SimTime::from_millis(1000), 1_250_000);
+        let t = Trajectory::from_series(&rs);
+        assert_eq!(t.secs, vec![1.0]);
+        assert!((t.mbps[0] - 10.0).abs() < 1e-9);
+    }
+}

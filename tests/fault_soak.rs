@@ -24,7 +24,7 @@ use mpcc_telemetry::LayerMask;
 use mpcc_transport::Workload;
 use std::fs;
 
-const PROTOCOLS: [&str; 3] = ["reno", "lia", "mpcc-loss"];
+const PROTOCOLS: [&str; 5] = ["reno", "lia", "olia", "balia", "mpcc-loss"];
 const SEEDS_PER_MIX: u64 = 3;
 const TRANSFER_BYTES: u64 = 2_500_000;
 
@@ -81,8 +81,8 @@ fn cases() -> Vec<Case> {
         }
     }
     assert!(
-        out.len() >= 60,
-        "sweep shrank below 60 cases: {}",
+        out.len() >= 100,
+        "sweep shrank below 100 cases: {}",
         out.len()
     );
     if let Some(n) = std::env::var("MPCC_SOAK_CASES")
@@ -181,11 +181,15 @@ fn soak_sweep_holds_invariants_and_is_deterministic() {
         );
 
         // The mix actually bites: its signature counter moved somewhere.
+        // Coupled controllers that shift load away from the faulted path
+        // (OLIA in particular) can starve it below the point where a
+        // low-probability fault ever fires, so only insist when the path
+        // carried enough packets for firing to be near-certain.
         let stats = &a.links[0];
         let touched =
             stats.reordered + stats.duplicated + stats.dropped_burst + stats.dropped_outage;
         assert!(
-            touched > 0,
+            touched > 0 || stats.enqueued < 500,
             "{id}: fault mix never fired (link stats {stats:?})"
         );
 
