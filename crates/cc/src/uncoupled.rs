@@ -86,4 +86,11 @@ impl<T: SinglePathCc> MultipathCc for Uncoupled<T> {
     fn is_rate_based(&self) -> bool {
         false
     }
+
+    fn reset_for_reuse(&mut self) -> bool {
+        // Rebuild each per-subflow controller in place; the vec keeps its
+        // capacity but is emptied so `init_subflow` repopulates it.
+        self.subflows.clear();
+        true
+    }
 }

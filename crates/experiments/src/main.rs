@@ -1,5 +1,5 @@
 //! The experiments binary: `experiments <id>... [--full] [--seed N]
-//! [--runs N] [--jobs N] [--out DIR] [--trace FILE]
+//! [--runs N] [--jobs N] [--shards N] [--full-scale] [--out DIR] [--trace FILE]
 //! [--trace-filter LAYERS] [--metrics FILE] [--metrics-bin DUR]
 //! [--faults SPEC]`, or `experiments all` / `experiments list`, or
 //! `experiments report FILE` (flight-recorder Markdown from a metrics
@@ -87,6 +87,14 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--runs needs an integer");
             }
+            "--shards" => {
+                cfg.shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--shards needs an integer >= 1");
+            }
+            "--full-scale" => cfg.full_scale = true,
             "--jobs" => {
                 jobs = it
                     .next()
@@ -249,6 +257,7 @@ fn main() {
     if ids.is_empty() {
         eprintln!(
             "usage: experiments <id>... | all | list  [--full] [--seed N] [--runs N] [--jobs N] \
+             [--shards N] [--full-scale] \
              [--out DIR] [--trace FILE] [--trace-filter controller,transport,link] \
              [--metrics FILE] [--metrics-bin 500ms] \
              [--faults 'reorder:p=0.05,extra=20ms;outage:at=5s,down=1s']\n\
@@ -290,6 +299,13 @@ fn main() {
             "<<< {id} done in {:.1}s",
             wall.elapsed_since(start).as_secs_f64()
         );
+    }
+    // In checked builds (debug, or --features invariants) a clean exit
+    // also certifies the runtime invariant layer stayed silent.
+    let violations = mpcc_check::violations();
+    if violations > 0 {
+        eprintln!("{violations} runtime invariant violations");
+        std::process::exit(1);
     }
 }
 
@@ -351,9 +367,33 @@ fn run_bench_mode(
         }
         return;
     }
+    // The sharded-engine sweep (churn workload at 1/2/4 shards). On this
+    // gate only the single-instance number above is compared; the sweep
+    // is recorded with its core count so speedups are interpretable.
+    let sharded = bench::measure_sharded(bench_cfg.reps.min(3));
+    for s in &sharded {
+        eprintln!(
+            "    shards={} ({} cores, {}): {:.0} events/sec aggregate, \
+             {} handoffs, {} epochs, peak queue/shard {}",
+            s.shards,
+            s.cores,
+            if s.threaded { "threaded" } else { "sequential" },
+            s.events_per_sec(),
+            s.handoffs,
+            s.epochs,
+            s.peak_queue_per_shard,
+        );
+        if s.shard_sync_events > 0 {
+            eprintln!(
+                "      shard_sync: {} events, {} ns",
+                s.shard_sync_events, s.shard_sync_ns
+            );
+        }
+    }
     let json = report.to_json(
         mpcc_simcore::queue::QUEUE_IMPL,
         baseline.as_ref().map(|(n, e)| (n.as_str(), *e)),
+        &sharded,
     );
     std::fs::create_dir_all(&cfg.out_dir).expect("create output dir");
     let path = cfg.out_dir.join("BENCH_simulator.json");

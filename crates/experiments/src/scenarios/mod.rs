@@ -2,6 +2,7 @@
 //! experiment index mapping figures to modules.
 
 pub mod ablation;
+pub mod churn;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12_13;
@@ -19,10 +20,11 @@ use crate::output::Figure;
 use crate::ExpConfig;
 
 /// All experiment ids, in paper order (plus the §6 scheduler experiment,
-/// the design-choice ablations, and the fault-injection handover study).
-pub const ALL: [&str; 19] = [
+/// the design-choice ablations, the fault-injection handover study, and
+/// the sharded-engine connection-churn workload).
+pub const ALL: [&str; 20] = [
     "fig2", "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "fig13", "fig14", "fig15", "fig16", "fig19", "sched", "ablation", "handover",
+    "fig13", "fig14", "fig15", "fig16", "fig19", "sched", "ablation", "handover", "churn",
 ];
 
 /// Dispatches one experiment id; returns the produced figures.
@@ -46,6 +48,7 @@ pub fn dispatch(id: &str, cfg: &ExpConfig) -> Vec<Figure> {
         "sched" => sched::run(cfg),
         "ablation" => ablation::run(cfg),
         "handover" => handover::run(cfg),
+        "churn" => churn::run(cfg),
         other => panic!("unknown experiment id {other:?} (see `experiments list`)"),
     }
 }

@@ -23,6 +23,7 @@ pub mod link;
 pub mod network;
 pub mod packet;
 pub mod replay;
+pub mod shard;
 pub mod topology;
 pub mod trace;
 
@@ -35,3 +36,4 @@ pub use packet::{
     MSS_PAYLOAD, MSS_WIRE,
 };
 pub use replay::{Blackhole, Tap};
+pub use shard::{NoHook, ShardHook, ShardedSimulation};

@@ -46,6 +46,46 @@ enum Event {
     LinkChange(LinkId, LinkParams),
 }
 
+/// The canonical dispatch key of an event (canonical mode): same-time
+/// events are dispatched in ascending key order, making dispatch order a
+/// function of event *content* rather than queue insertion order. Keys are
+/// unique within a timestamp except for duplicate-fault packet twins
+/// (same id, same hop), which are bit-identical packets — their relative
+/// order is immaterial.
+fn canon_key(ev: &Event) -> (u8, u64, u64) {
+    match ev {
+        Event::TxComplete(l) => (0, l.0 as u64, 0),
+        Event::Arrive(p) => (1, p.id, p.hop as u64),
+        Event::Timer(e, tok) => (2, e.0 as u64, *tok),
+        Event::LinkChange(l, _) => (3, l.0 as u64, 0),
+    }
+}
+
+/// Per-event hash folded (by wrapping addition, so order-insensitively)
+/// into the canonical-mode digest. Packet ids are per-endpoint in
+/// canonical mode, so the hash of every event is shard-count invariant.
+fn event_digest(t: SimTime, ev: &Event) -> u64 {
+    let (class, a, b) = canon_key(ev);
+    splitmix64(t.as_nanos() ^ splitmix64(class as u64 ^ splitmix64(a ^ splitmix64(b))))
+}
+
+/// Cross-shard configuration of one shard instance of a partitioned
+/// topology (absent in the default single-instance mode).
+///
+/// Every shard constructs the *entire* topology (all links, paths and
+/// endpoint slots, with endpoint boxes only in owned slots) so ids and
+/// RNG forks agree across shards; this table says which shard *processes*
+/// each link's service and each endpoint's events.
+#[derive(Clone, Debug)]
+struct ShardCfg {
+    /// This shard's index.
+    me: u8,
+    /// Owner shard of each link, indexed by `LinkId`.
+    shard_of_link: Vec<u8>,
+    /// Owner shard of each endpoint slot, indexed by `EndpointId`.
+    shard_of_ep: Vec<u8>,
+}
+
 /// The simulator's implementation of the [`HostCtx`] driver seam: the
 /// capabilities an endpoint has while handling an event.
 pub struct Ctx<'a> {
@@ -56,7 +96,15 @@ pub struct Ctx<'a> {
     link_rngs: &'a mut [SimRng],
     paths: &'a [Path],
     rng: &'a mut SimRng,
+    /// Packet-id counter: the simulation-global counter in the default
+    /// mode, a per-endpoint counter in canonical (sharded) mode.
     next_packet_id: &'a mut u64,
+    /// OR-ed into every assigned packet id (zero in the default mode; the
+    /// endpoint id shifted into the high bits in canonical mode, making
+    /// ids shard-count invariant).
+    id_base: u64,
+    shard: Option<&'a ShardCfg>,
+    outbox: &'a mut Vec<(u8, SimTime, Packet)>,
     tracer: &'a Tracer,
 }
 
@@ -81,7 +129,7 @@ impl HostCtx for Ctx<'_> {
     /// link's queue immediately (host NIC queueing is not modelled; pacing
     /// is the transport's job).
     fn send(&mut self, path: PathId, dst: EndpointId, size: u64, header: Header) {
-        let id = *self.next_packet_id;
+        let id = self.id_base | *self.next_packet_id;
         *self.next_packet_id += 1;
         let pkt = Packet {
             id,
@@ -122,7 +170,7 @@ impl<'a> Ctx<'a> {
     /// Sends a packet directly to `dst` after `delay`, bypassing all links.
     /// Used for the delay-only reverse (ACK) direction.
     pub fn send_direct(&mut self, dst: EndpointId, delay: SimDuration, size: u64, header: Header) {
-        let id = *self.next_packet_id;
+        let id = self.id_base | *self.next_packet_id;
         *self.next_packet_id += 1;
         let pkt = Packet {
             id,
@@ -135,7 +183,16 @@ impl<'a> Ctx<'a> {
             size,
             header,
         };
-        self.events.schedule(self.now + delay, Event::Arrive(pkt));
+        let at = self.now + delay;
+        if let Some(sc) = self.shard {
+            let owner = sc.shard_of_ep[dst.0 as usize];
+            if owner != sc.me {
+                // Cross-shard delivery: handed off at the epoch barrier.
+                self.outbox.push((owner, at, pkt));
+                return;
+            }
+        }
+        self.events.schedule(at, Event::Arrive(pkt));
     }
 
     /// The links of `path`, for topology-aware helpers (e.g. base-RTT
@@ -164,6 +221,15 @@ impl<'a> Ctx<'a> {
             return;
         }
         let link_id = path.links[pkt.hop];
+        // Partitioning rule: the first hop of every path is co-owned with
+        // its sending endpoint (a send enters the NIC-adjacent link
+        // synchronously, so it cannot cross a shard boundary).
+        debug_assert!(
+            self.shard
+                .is_none_or(|sc| sc.shard_of_link[link_id.0 as usize] == sc.me),
+            "endpoint {:?} sends on a link owned by another shard",
+            self.self_id
+        );
         let link = &mut self.links[link_id.0 as usize];
         let rng = &mut self.link_rngs[link_id.0 as usize];
         let bytes = pkt.size;
@@ -285,6 +351,33 @@ pub struct Simulation {
     /// Self-profiler; zero-sized and inert unless the `profiler` feature
     /// is enabled.
     profiler: Profiler,
+    /// Canonical mode (off by default, preserving the exact legacy event
+    /// order): same-time events dispatch in a sorted canonical order,
+    /// packet ids are drawn from per-endpoint namespaces, link service is
+    /// batched, and an order-insensitive event digest is accumulated.
+    /// Together these make outcomes invariant under topology sharding.
+    canonical: bool,
+    /// Per-endpoint packet-id counters (canonical mode).
+    ep_pkt_seqs: Vec<u64>,
+    /// Cross-shard role of this instance, when part of a sharded run.
+    shard: Option<ShardCfg>,
+    /// Packets bound for other shards, staged until the epoch barrier:
+    /// `(destination shard, arrival time, packet)`.
+    outbox: Vec<(u8, SimTime, Packet)>,
+    /// Reusable same-timestamp batch buffer (canonical mode).
+    batch: Vec<Event>,
+    /// Link completions executed inline by batched link service instead of
+    /// through the event queue (canonical mode).
+    inline_completions: u64,
+    /// Upper bound for inline link completions: the end of the window the
+    /// current `run_*` call is allowed to simulate (see `run_epoch`).
+    inline_limit: SimTime,
+    /// Commutative (wrapping-add) digest over all dispatched events
+    /// (canonical mode); invariant across shard counts.
+    digest: u64,
+    /// Events dropped because their endpoint slot was empty (reserved but
+    /// not installed, or already removed by a churn driver).
+    stale_events: u64,
 }
 
 impl Simulation {
@@ -304,6 +397,15 @@ impl Simulation {
             tracer: Tracer::off(),
             warned_clamps: 0,
             profiler: Profiler::new(),
+            canonical: false,
+            ep_pkt_seqs: Vec::new(),
+            shard: None,
+            outbox: Vec::new(),
+            batch: Vec::new(),
+            inline_completions: 0,
+            inline_limit: SimTime::MAX,
+            digest: 0,
+            stale_events: 0,
         }
     }
 
@@ -346,6 +448,16 @@ impl Simulation {
         self.events.clamped_schedules()
     }
 
+    /// Pre-sizes the event queue's wheel slots and drain buffers (see
+    /// [`EventQueue::reserve_slot_capacity`]). Churning workloads call
+    /// this at build time so per-slot occupancy maxima discovered late in
+    /// a run never allocate.
+    ///
+    /// [`EventQueue::reserve_slot_capacity`]: mpcc_simcore::EventQueue::reserve_slot_capacity
+    pub fn reserve_event_capacity(&mut self, per_slot: usize, drain: usize) {
+        self.events.reserve_slot_capacity(per_slot, drain);
+    }
+
     /// Adds a link and returns its handle.
     pub fn add_link(&mut self, params: LinkParams) -> LinkId {
         let id = LinkId(self.links.len() as u32);
@@ -383,11 +495,55 @@ impl Simulation {
     /// next driven (so endpoints added before `run_*` all start at time
     /// zero, in registration order).
     pub fn add_endpoint(&mut self, ep: Box<dyn Endpoint>) -> EndpointId {
-        let id = EndpointId(self.endpoints.len() as u32);
-        self.endpoints.push(Some(ep));
-        self.ep_rngs.push(endpoint_rng(self.seed, id));
+        let id = self.reserve_endpoint();
+        self.endpoints[id.0 as usize] = Some(ep);
         self.started.push(id);
         id
+    }
+
+    /// Reserves an endpoint slot without installing an endpoint.
+    ///
+    /// Two uses: a shard of a partitioned topology reserves slots for the
+    /// endpoints other shards own (so ids and RNG forks line up across
+    /// shards), and churn drivers reserve slots for connections that are
+    /// created mid-run via [`Simulation::install_endpoint`]. Events
+    /// addressed to an empty slot are dropped and counted in
+    /// [`Simulation::stale_events`].
+    pub fn reserve_endpoint(&mut self) -> EndpointId {
+        let id = EndpointId(self.endpoints.len() as u32);
+        self.endpoints.push(None);
+        self.ep_rngs.push(endpoint_rng(self.seed, id));
+        self.ep_pkt_seqs.push(0);
+        id
+    }
+
+    /// Installs an endpoint into a reserved (empty) slot. Its `start` hook
+    /// runs when the simulation is next driven, at the then-current clock.
+    pub fn install_endpoint(&mut self, id: EndpointId, ep: Box<dyn Endpoint>) {
+        let slot = &mut self.endpoints[id.0 as usize];
+        assert!(slot.is_none(), "endpoint slot {id:?} already occupied");
+        *slot = Some(ep);
+        self.started.push(id);
+    }
+
+    /// Removes an installed endpoint, returning its box (for pooling and
+    /// in-place reuse). The slot stays reserved: later events addressed to
+    /// it — stray timers, spurious retransmissions in flight — are dropped
+    /// and counted in [`Simulation::stale_events`].
+    pub fn remove_endpoint(&mut self, id: EndpointId) -> Box<dyn Endpoint> {
+        self.endpoints[id.0 as usize]
+            .take()
+            .expect("removing an endpoint that is not installed")
+    }
+
+    /// `true` while the slot holds an installed endpoint.
+    pub fn endpoint_installed(&self, id: EndpointId) -> bool {
+        self.endpoints[id.0 as usize].is_some()
+    }
+
+    /// Events dropped because their endpoint slot was empty.
+    pub fn stale_events(&self) -> u64 {
+        self.stale_events
     }
 
     /// Schedules `pkt` to arrive at its destination endpoint at absolute
@@ -408,6 +564,120 @@ impl Simulation {
     /// Schedules a link parameter change at absolute time `at`.
     pub fn schedule_link_change(&mut self, at: SimTime, link: LinkId, params: LinkParams) {
         self.events.schedule(at, Event::LinkChange(link, params));
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded / canonical execution (see DESIGN.md §16)
+    // ------------------------------------------------------------------
+
+    /// Switches on canonical mode: same-time events dispatch in a sorted
+    /// canonical order, packet ids come from per-endpoint namespaces,
+    /// link service is batched, and the event digest accumulates. Must be
+    /// set before any endpoint runs; the sharded engine sets it on every
+    /// shard (including single-shard runs) so outcomes are invariant
+    /// across shard counts.
+    pub fn set_canonical(&mut self, on: bool) {
+        assert_eq!(
+            self.events.events_popped(),
+            0,
+            "canonical mode must be chosen before the simulation runs"
+        );
+        self.canonical = on;
+    }
+
+    /// Declares this instance to be shard `me` of a partitioned topology.
+    /// `shard_of_link[l]` / `shard_of_ep[e]` give the owning shard of each
+    /// link / endpoint slot; both must cover everything registered so far.
+    /// Implies canonical mode.
+    pub fn configure_shard(&mut self, me: u8, shard_of_link: Vec<u8>, shard_of_ep: Vec<u8>) {
+        assert_eq!(shard_of_link.len(), self.links.len());
+        assert_eq!(shard_of_ep.len(), self.endpoints.len());
+        self.set_canonical(true);
+        self.shard = Some(ShardCfg {
+            me,
+            shard_of_link,
+            shard_of_ep,
+        });
+    }
+
+    /// The conservative lookahead this topology supports: the minimum over
+    /// all link propagation delays and all path reverse delays. Any
+    /// partition of the topology is safe with epochs of this length,
+    /// because every cross-shard handoff (a link-to-link hop, a final-hop
+    /// delivery, or a delay-only reverse path) takes at least this long.
+    /// `None` if the topology has no links. Mid-run `LinkChange`s must not
+    /// lower a delay below this value.
+    pub fn min_lookahead(&self) -> Option<SimDuration> {
+        let link_min = self.links.iter().map(|l| l.params().delay).min();
+        let rev_min = self.paths.iter().map(|p| p.reverse_delay).min();
+        match (link_min, rev_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Schedules a packet handed off from another shard. Unlike
+    /// [`Simulation::inject`], the packet's hop is preserved: mid-path
+    /// packets re-enter at their next link, past-last-hop packets deliver
+    /// to their destination endpoint.
+    pub fn inject_arrival(&mut self, at: SimTime, pkt: Packet) {
+        self.events.schedule(at, Event::Arrive(pkt));
+    }
+
+    /// Takes the staged cross-shard packets (cleared on return). The
+    /// sharded engine routes them into the destination shards' wheels at
+    /// the epoch barrier, swapping the buffer back via
+    /// [`Simulation::give_outbox`] to keep its capacity.
+    pub fn take_outbox(&mut self) -> Vec<(u8, SimTime, Packet)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Returns a drained outbox buffer so its capacity is reused.
+    pub fn give_outbox(&mut self, mut buf: Vec<(u8, SimTime, Packet)>) {
+        buf.clear();
+        if buf.capacity() > self.outbox.capacity() {
+            self.outbox = buf;
+        }
+    }
+
+    /// The order-insensitive event digest (canonical mode): a wrapping sum
+    /// of per-event hashes, so the combined digest over all shards is
+    /// invariant across shard counts even though each shard dispatches a
+    /// different subset.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Link completions executed inline by batched link service.
+    pub fn inline_completions(&self) -> u64 {
+        self.inline_completions
+    }
+
+    /// Total simulation work: queue-dispatched events plus inline link
+    /// completions. Invariant across shard counts (unlike the raw popped
+    /// count, since inline-batching decisions depend on each shard's local
+    /// queue head).
+    pub fn total_events(&self) -> u64 {
+        self.events.events_popped() + self.inline_completions
+    }
+
+    /// The earliest pending event time, if any (the sharded engine's
+    /// epoch-skip input).
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    /// Runs endpoint `start` hooks that are pending (normally done by
+    /// `run_*`; the sharded engine calls it after a boundary hook installs
+    /// endpoints so their first events are visible to epoch planning).
+    pub fn flush_starts(&mut self) {
+        self.start_pending();
+    }
+
+    /// Attributes a span to this shard's profiler (the sharded engine uses
+    /// it for cross-shard handoff and barrier-wait time).
+    pub fn profiler_record(&mut self, cat: ProfCat, stamp: mpcc_simcore::Stamp) {
+        self.profiler.record(cat, stamp);
     }
 
     /// Read access to a link (statistics, current parameters).
@@ -448,9 +718,37 @@ impl Simulation {
     /// On return the clock reads exactly `until` (or the last event time if
     /// the queue drained first).
     pub fn run_until(&mut self, until: SimTime) {
+        self.run_bounded(until, true);
+    }
+
+    /// Runs one synchronization epoch: all events strictly before `end`
+    /// (or up to and including `end` when `inclusive`, for the final
+    /// window of a sharded run). On return the clock reads exactly `end`.
+    /// Cross-shard packets produced during the epoch are staged in the
+    /// outbox for the caller to route.
+    pub fn run_epoch(&mut self, end: SimTime, inclusive: bool) {
+        self.run_bounded(end, inclusive);
+    }
+
+    fn run_bounded(&mut self, until: SimTime, inclusive: bool) {
+        self.inline_limit = until;
         self.start_pending();
+        if self.canonical {
+            self.run_loop_canonical(until, inclusive);
+        } else {
+            self.run_loop_legacy(until, inclusive);
+        }
+        self.inline_limit = SimTime::MAX;
+        if self.now < until {
+            self.now = until;
+        }
+    }
+
+    /// The default event loop: pop-one, dispatch, in queue order (FIFO
+    /// within a timestamp). Byte-identical to the pre-sharding engine.
+    fn run_loop_legacy(&mut self, until: SimTime, inclusive: bool) {
         while let Some(t) = self.events.peek_time() {
-            if t > until {
+            if t > until || (!inclusive && t == until) {
                 break;
             }
             let (t, ev) = self.events.pop().expect("peeked");
@@ -464,7 +762,7 @@ impl Simulation {
             };
             #[allow(clippy::let_unit_value)] // `Stamp` is `()` with the feature off
             let stamp = Profiler::start();
-            self.dispatch(ev);
+            self.dispatch(ev, true);
             if let Some(cat) = cat {
                 self.profiler.record(cat, stamp);
             }
@@ -479,8 +777,64 @@ impl Simulation {
                     });
             }
         }
-        if self.now < until {
-            self.now = until;
+    }
+
+    /// The canonical event loop: all events sharing a timestamp are popped
+    /// as a batch and dispatched in canonical-key order, so dispatch order
+    /// does not depend on queue insertion order — the one quantity that
+    /// differs between an inline schedule (same shard) and a mailbox drain
+    /// (cross-shard handoff). The sort may be unstable: the only possible
+    /// key ties are duplicate-fault packet twins, which are bit-identical
+    /// `Copy` packets, so either order dispatches the same events.
+    /// (`sort_unstable` also never allocates, keeping churn steady state
+    /// off the allocator; the stable sort takes per-call scratch.)
+    fn run_loop_canonical(&mut self, until: SimTime, inclusive: bool) {
+        while let Some(t) = self.events.peek_time() {
+            if t > until || (!inclusive && t == until) {
+                break;
+            }
+            // Drain the batch at time `t`. Events scheduled *for* `t`
+            // during the batch's dispatch form a follow-up batch (the
+            // outer loop re-peeks), which is fine: their creation order is
+            // itself canonical by induction.
+            let mut batch = std::mem::take(&mut self.batch);
+            loop {
+                let (_, ev) = self.events.pop().expect("peeked");
+                batch.push(ev);
+                if self.events.peek_time() != Some(t) {
+                    break;
+                }
+            }
+            batch.sort_unstable_by_key(canon_key);
+            self.now = t;
+            let n = batch.len();
+            for (i, ev) in batch.drain(..).enumerate() {
+                // Inline link service is only sound for the final event of
+                // the batch: any earlier event still has same-time work
+                // pending that could touch the link being serviced.
+                let may_inline = i + 1 == n;
+                let cat = if Profiler::ENABLED {
+                    Some(self.classify(&ev))
+                } else {
+                    None
+                };
+                #[allow(clippy::let_unit_value)] // `Stamp` is `()` with the feature off
+                let stamp = Profiler::start();
+                self.digest = self.digest.wrapping_add(event_digest(t, &ev));
+                self.dispatch(ev, may_inline);
+                if let Some(cat) = cat {
+                    self.profiler.record(cat, stamp);
+                }
+                let clamped = self.events.clamped_schedules();
+                if clamped > self.warned_clamps {
+                    self.warned_clamps = clamped;
+                    self.tracer
+                        .emit_with(Layer::Link, self.now, || LinkEvent::ClockClamp {
+                            count: clamped,
+                        });
+                }
+            }
+            self.batch = batch;
         }
     }
 
@@ -536,14 +890,22 @@ impl Simulation {
         )
     }
 
-    fn dispatch(&mut self, ev: Event) {
+    fn dispatch(&mut self, ev: Event, may_inline: bool) {
         match ev {
-            Event::TxComplete(link_id) => {
+            Event::TxComplete(link_id) => loop {
                 let link = &mut self.links[link_id.0 as usize];
                 let (outcome, next) = link.complete_tx(self.now);
                 let delay = link.delay();
-                if let Some(done) = next {
-                    self.events.schedule(done, Event::TxComplete(link_id));
+                // Legacy mode schedules the follow-up completion *before*
+                // the delivery arrivals; preserve that queue insertion
+                // order exactly (FIFO within a timestamp). Canonical mode
+                // defers the decision to the inline-service check below —
+                // insertion order is irrelevant there because same-time
+                // batches are sorted.
+                if !self.canonical {
+                    if let Some(done) = next {
+                        self.events.schedule(done, Event::TxComplete(link_id));
+                    }
                 }
                 match outcome {
                     TxOutcome::Deliver {
@@ -571,11 +933,9 @@ impl Simulation {
                                     extra_delay_ns: trail.as_nanos(),
                                 }
                             });
-                            self.events
-                                .schedule(self.now + delay + extra + trail, Event::Arrive(pkt));
+                            self.schedule_arrive(self.now + delay + extra + trail, pkt);
                         }
-                        self.events
-                            .schedule(self.now + delay + extra, Event::Arrive(pkt));
+                        self.schedule_arrive(self.now + delay + extra, pkt);
                     }
                     TxOutcome::Blackholed(pkt) => {
                         self.tracer
@@ -585,7 +945,35 @@ impl Simulation {
                             });
                     }
                 }
-            }
+                let Some(done) = next else { break };
+                if !self.canonical {
+                    break; // already scheduled above
+                }
+                // Batched link service (canonical mode): when this
+                // completion is provably the very next event this instance
+                // would execute — nothing else pending in the current
+                // same-time batch, strictly earlier than the queue head,
+                // and inside the current run window — execute it inline
+                // instead of round-tripping through the event queue.
+                // The decision is outcome-neutral (the completion runs at
+                // the same simulated time against the same link state
+                // either way), so the shard-local queue head it depends on
+                // never leaks into results.
+                if self.canonical
+                    && may_inline
+                    && done < self.inline_limit
+                    && self.events.peek_time().is_none_or(|t| done < t)
+                {
+                    self.now = done;
+                    self.inline_completions += 1;
+                    self.digest = self
+                        .digest
+                        .wrapping_add(event_digest(done, &Event::TxComplete(link_id)));
+                    continue;
+                }
+                self.events.schedule(done, Event::TxComplete(link_id));
+                break;
+            },
             Event::Arrive(pkt) => {
                 let past_last_hop = match self.paths.get(pkt.path.0 as usize) {
                     Some(path) => pkt.hop >= path.links.len(),
@@ -607,6 +995,26 @@ impl Simulation {
         }
     }
 
+    /// Schedules a packet arrival, routing it through the outbox when its
+    /// processing shard (the owner of its next link, or of its destination
+    /// endpoint once past the last hop) is not this instance. In the
+    /// default single-instance mode this is a plain schedule.
+    fn schedule_arrive(&mut self, at: SimTime, pkt: Packet) {
+        if let Some(sc) = &self.shard {
+            let owner = match self.paths.get(pkt.path.0 as usize) {
+                Some(path) if pkt.hop < path.links.len() => {
+                    sc.shard_of_link[path.links[pkt.hop].0 as usize]
+                }
+                _ => sc.shard_of_ep[pkt.dst.0 as usize],
+            };
+            if owner != sc.me {
+                self.outbox.push((owner, at, pkt));
+                return;
+            }
+        }
+        self.events.schedule(at, Event::Arrive(pkt));
+    }
+
     /// Re-offers a mid-path packet to its next link (no endpoint involved).
     fn reforward(&mut self, pkt: Packet) {
         let path = &self.paths[pkt.path.0 as usize];
@@ -626,10 +1034,24 @@ impl Simulation {
     where
         F: FnOnce(&mut Box<dyn Endpoint>, &mut Ctx<'_>),
     {
-        let mut ep = self.endpoints[id.0 as usize]
-            .take()
-            .expect("re-entrant endpoint dispatch");
+        let idx = id.0 as usize;
+        let Some(mut ep) = self.endpoints[idx].take() else {
+            // Reserved-but-empty slot: the endpoint is owned by another
+            // shard, or a churn driver already retired the connection and
+            // this is a stray in-flight packet or stale timer. Drop it.
+            self.stale_events += 1;
+            return;
+        };
         {
+            // Canonical mode draws packet ids from a per-endpoint
+            // namespace (slot id in the high bits), so ids never depend on
+            // the global interleaving of sends — which differs across
+            // shard counts.
+            let (id_base, next_packet_id) = if self.canonical {
+                ((id.0 as u64) << 32, &mut self.ep_pkt_seqs[idx])
+            } else {
+                (0, &mut self.next_packet_id)
+            };
             let mut ctx = Ctx {
                 now: self.now,
                 self_id: id,
@@ -637,13 +1059,16 @@ impl Simulation {
                 links: &mut self.links,
                 link_rngs: &mut self.link_rngs,
                 paths: &self.paths,
-                rng: &mut self.ep_rngs[id.0 as usize],
-                next_packet_id: &mut self.next_packet_id,
+                rng: &mut self.ep_rngs[idx],
+                next_packet_id,
+                id_base,
+                shard: self.shard.as_ref(),
+                outbox: &mut self.outbox,
                 tracer: &self.tracer,
             };
             f(&mut ep, &mut ctx);
         }
-        self.endpoints[id.0 as usize] = Some(ep);
+        self.endpoints[idx] = Some(ep);
     }
 }
 

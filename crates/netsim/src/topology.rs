@@ -160,6 +160,36 @@ impl Clos {
             .collect()
     }
 
+    /// The shard owning host `h` in a `k`-way partition: racks are dealt
+    /// round-robin over shards, so a host, its access links and its ToR's
+    /// spine uplinks always land together (see DESIGN.md §16).
+    pub fn shard_of_host(&self, host: usize, k: u8) -> u8 {
+        (self.tor_of(host) % k as usize) as u8
+    }
+
+    /// Link-ownership table for a `k`-way partition by rack, indexed by
+    /// [`LinkId`]. Host access links belong to the host's shard; ToR↔spine
+    /// links belong to the ToR's shard. A forward route then crosses
+    /// shards at most once (between the spine uplink and the destination
+    /// rack's spine downlink), and the first hop of every route is
+    /// co-owned with its source endpoint, as the engine requires.
+    pub fn shard_of_links(&self, k: u8) -> Vec<u8> {
+        let n_links = 2 * self.hosts() + 2 * self.n_tors * self.n_spines;
+        let mut owners = vec![0u8; n_links];
+        for h in 0..self.hosts() {
+            owners[self.host_up[h].0 as usize] = self.shard_of_host(h, k);
+            owners[self.host_down[h].0 as usize] = self.shard_of_host(h, k);
+        }
+        for t in 0..self.n_tors {
+            let owner = (t % k as usize) as u8;
+            for s in 0..self.n_spines {
+                owners[self.tor_up[t][s].0 as usize] = owner;
+                owners[self.tor_down[t][s].0 as usize] = owner;
+            }
+        }
+        owners
+    }
+
     /// Registers `n_subflows` paths from `src` to `dst`, spreading subflows
     /// over the ECMP routes round-robin starting at a hash of the pair —
     /// the per-subflow 5-tuple hashing of the testbed.

@@ -15,6 +15,7 @@ pub mod clock;
 pub mod profiler;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod time;
 pub mod units;
 
@@ -22,5 +23,6 @@ pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use profiler::{ProfCat, ProfileReport, Profiler, Stamp};
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use shard::SpinBarrier;
 pub use time::{SimDuration, SimTime};
 pub use units::{bdp_bytes, bytes, Rate};

@@ -30,11 +30,15 @@ pub enum ProfCat {
     Timer = 4,
     /// A scheduled link-parameter change was applied.
     LinkChange = 5,
+    /// Cross-shard packet handoff and epoch-barrier synchronization
+    /// (outbox routing, mailbox drain, and barrier wait in the sharded
+    /// engine; always zero in single-instance runs).
+    ShardSync = 6,
 }
 
 impl ProfCat {
     /// Number of categories (array size).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// Category label used in benchmark output.
     pub fn name(self) -> &'static str {
@@ -45,6 +49,7 @@ impl ProfCat {
             ProfCat::Forward => "forward",
             ProfCat::Timer => "timer",
             ProfCat::LinkChange => "link_change",
+            ProfCat::ShardSync => "shard_sync",
         }
     }
 
@@ -57,6 +62,7 @@ impl ProfCat {
             ProfCat::Forward,
             ProfCat::Timer,
             ProfCat::LinkChange,
+            ProfCat::ShardSync,
         ]
     }
 }

@@ -1,0 +1,236 @@
+//! Index-based arenas with free-list recycling for per-connection state.
+//!
+//! Churn workloads create and destroy 10⁴–10⁵ short-lived connections per
+//! run. Allocating each connection's transport state on the heap would put
+//! the allocator on the hot path; instead the churn driver keeps connection
+//! records in an [`Arena`] and recycles slots through a free list. Handles
+//! are generation-tagged: freeing a slot bumps its generation, so a stale
+//! [`Handle`] held past `free` can never silently alias the slot's next
+//! occupant — lookups with a stale handle return `None`.
+
+/// A generation-tagged index into an [`Arena`].
+///
+/// `slot` is the physical index; `generation` must match the slot's current
+/// generation for the handle to be live. Handles are plain `Copy` data and
+/// deliberately carry no lifetime — staleness is checked at access time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Handle {
+    slot: u32,
+    generation: u32,
+}
+
+impl Handle {
+    /// The physical slot index (stable for the lifetime of the entry).
+    pub fn slot(self) -> u32 {
+        self.slot
+    }
+}
+
+struct Entry<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A slot arena with free-list recycling and generation-tagged handles.
+///
+/// `insert` pops the free list before growing the backing vector, so a
+/// warm arena at steady state performs no allocations; `free` returns the
+/// value (letting callers recycle its own heap structure, e.g. a pooled
+/// endpoint box) and bumps the slot generation.
+pub struct Arena<T> {
+    entries: Vec<Entry<T>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Arena {
+            entries: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// An empty arena with capacity for `cap` entries (and as many free
+    /// slots), so steady-state churn below `cap` never allocates.
+    pub fn with_capacity(cap: usize) -> Self {
+        Arena {
+            entries: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+            live: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots ever created (live + recyclable).
+    pub fn capacity_slots(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Inserts a value, reusing a freed slot when one is available.
+    pub fn insert(&mut self, value: T) -> Handle {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            let e = &mut self.entries[slot as usize];
+            debug_assert!(e.value.is_none(), "free-listed slot still occupied");
+            e.value = Some(value);
+            Handle {
+                slot,
+                generation: e.generation,
+            }
+        } else {
+            let slot = self.entries.len() as u32;
+            self.entries.push(Entry {
+                generation: 0,
+                value: Some(value),
+            });
+            Handle {
+                slot,
+                generation: 0,
+            }
+        }
+    }
+
+    /// The value behind a live handle, or `None` if the handle is stale
+    /// (freed, possibly recycled) or out of range.
+    pub fn get(&self, h: Handle) -> Option<&T> {
+        self.entries
+            .get(h.slot as usize)
+            .filter(|e| e.generation == h.generation)
+            .and_then(|e| e.value.as_ref())
+    }
+
+    /// Mutable access behind a live handle; `None` if stale.
+    pub fn get_mut(&mut self, h: Handle) -> Option<&mut T> {
+        self.entries
+            .get_mut(h.slot as usize)
+            .filter(|e| e.generation == h.generation)
+            .and_then(|e| e.value.as_mut())
+    }
+
+    /// Frees a live entry, returning its value and recycling the slot.
+    /// Stale handles return `None` and leave the arena untouched.
+    pub fn free(&mut self, h: Handle) -> Option<T> {
+        let e = self.entries.get_mut(h.slot as usize)?;
+        if e.generation != h.generation {
+            return None;
+        }
+        let value = e.value.take()?;
+        e.generation = e.generation.wrapping_add(1);
+        self.free.push(h.slot);
+        self.live -= 1;
+        Some(value)
+    }
+
+    /// Iterates over live entries with their handles, in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (Handle, &T)> {
+        self.entries.iter().enumerate().filter_map(|(i, e)| {
+            e.value.as_ref().map(|v| {
+                (
+                    Handle {
+                        slot: i as u32,
+                        generation: e.generation,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+
+    /// Mutable iteration over live entries with their handles, in slot
+    /// order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Handle, &mut T)> {
+        self.entries.iter_mut().enumerate().filter_map(|(i, e)| {
+            let generation = e.generation;
+            e.value.as_mut().map(move |v| {
+                (
+                    Handle {
+                        slot: i as u32,
+                        generation,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_free_roundtrip() {
+        let mut a = Arena::new();
+        let h = a.insert(42u64);
+        assert_eq!(a.get(h), Some(&42));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.free(h), Some(42));
+        assert_eq!(a.len(), 0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn free_list_reuses_slots_without_growing() {
+        let mut a = Arena::with_capacity(4);
+        let hs: Vec<_> = (0..4).map(|i| a.insert(i)).collect();
+        assert_eq!(a.capacity_slots(), 4);
+        for h in &hs {
+            a.free(*h);
+        }
+        // Re-inserting reuses the same physical slots.
+        let hs2: Vec<_> = (10..14).map(|i| a.insert(i)).collect();
+        assert_eq!(a.capacity_slots(), 4, "recycled, not grown");
+        let mut slots: Vec<_> = hs2.iter().map(|h| h.slot()).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn stale_handle_after_recycle_is_rejected() {
+        let mut a = Arena::new();
+        let h1 = a.insert("first");
+        assert_eq!(a.free(h1), Some("first"));
+        // The slot is recycled for a new occupant...
+        let h2 = a.insert("second");
+        assert_eq!(h1.slot(), h2.slot(), "slot was recycled");
+        // ...and the stale handle must not alias it.
+        assert_eq!(a.get(h1), None);
+        assert_eq!(a.get_mut(h1), None);
+        assert_eq!(a.free(h1), None, "double free is inert");
+        assert_eq!(a.get(h2), Some(&"second"));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn iter_visits_only_live_entries() {
+        let mut a = Arena::new();
+        let h0 = a.insert(0);
+        let _h1 = a.insert(1);
+        let h2 = a.insert(2);
+        a.free(h0);
+        let live: Vec<_> = a.iter().map(|(_, v)| *v).collect();
+        assert_eq!(live, vec![1, 2]);
+        for (_, v) in a.iter_mut() {
+            *v += 10;
+        }
+        assert_eq!(a.get(h2), Some(&12));
+    }
+}

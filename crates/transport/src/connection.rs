@@ -64,6 +64,23 @@ impl ConnSend {
         self.workload
     }
 
+    /// Resets to a fresh transfer in place (retaining the retransmission
+    /// queue's allocation), for connection recycling.
+    pub fn reset_for_reuse(
+        &mut self,
+        workload: Workload,
+        initial_window: u64,
+        started_at: SimTime,
+    ) {
+        self.workload = workload;
+        self.next_dsn = 0;
+        self.retx.clear();
+        self.data_acked = 0;
+        self.peer_window = initial_window;
+        self.started_at = started_at;
+        self.completed_at = None;
+    }
+
     /// Bytes the application has made available by time `now`.
     fn released(&self, now: SimTime) -> u64 {
         match self.workload {

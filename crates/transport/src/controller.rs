@@ -155,6 +155,15 @@ pub trait MultipathCc: Send {
     /// Called when a retransmission timeout fires on `subflow`.
     fn on_rto(&mut self, _subflow: usize, _now: SimTime) {}
 
+    /// Resets the controller to its pre-`init_subflow` state in place,
+    /// without releasing per-subflow allocations, and returns `true` if
+    /// the reset is supported. Controllers that return the default `false`
+    /// cannot be recycled across connections (the churn driver falls back
+    /// to constructing a fresh controller for them).
+    fn reset_for_reuse(&mut self) -> bool {
+        false
+    }
+
     /// The congestion window for `subflow`, in bytes. Rate-based
     /// controllers return an inflight cap (e.g. 2 × BDP); the transport
     /// enforces `inflight ≤ cwnd` regardless of pacing.

@@ -137,6 +137,28 @@ impl MiTracker {
         Self::default()
     }
 
+    /// Resets to the fresh state in place. Resolution sets from any
+    /// in-flight intervals are recycled into the spare pool (capacity
+    /// permitting) so a recycled connection's MI cycle stays
+    /// allocation-free.
+    pub fn reset_for_reuse(&mut self) {
+        if let Some(mi) = self.current.take() {
+            self.recycle_set(mi.resolved_seqs);
+        }
+        while let Some(mi) = self.pending.pop_front() {
+            self.recycle_set(mi.resolved_seqs);
+        }
+        self.next_id = 0;
+    }
+
+    /// Stashes a spent resolution set for reuse, bounded by [`SPARE_SETS`].
+    fn recycle_set(&mut self, mut set: RangeSet) {
+        if self.spare.len() < SPARE_SETS {
+            set.clear();
+            self.spare.push(set);
+        }
+    }
+
     /// Starts a new interval at `now` with sending rate `rate`, closing the
     /// current one (if any). Returns the new interval's id.
     pub fn begin(&mut self, rate: Rate, now: SimTime, next_seq: u64) -> u64 {

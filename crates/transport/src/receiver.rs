@@ -64,6 +64,19 @@ impl MpReceiver {
         MpReceiver::new(300_000_000)
     }
 
+    /// Resets to a fresh receiver in place (per-subflow range sets and the
+    /// reassembly set keep their allocations), for connection recycling.
+    pub fn reset_for_reuse(&mut self, buffer: u64) {
+        self.buffer = buffer;
+        for sf in &mut self.sfs {
+            sf.cum_ack = 0;
+            sf.received.clear();
+        }
+        self.frontier = 0;
+        self.oo.clear();
+        self.stats = ReceiverStats::default();
+    }
+
     /// Statistics snapshot.
     pub fn stats(&self) -> ReceiverStats {
         ReceiverStats {

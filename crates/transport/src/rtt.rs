@@ -93,6 +93,18 @@ impl RttEstimator {
         self.min_window.push_back((now, rtt));
     }
 
+    /// Resets to the fresh-estimator state in place, retaining the
+    /// windowed-minimum deque's allocation (connection recycling must not
+    /// touch the allocator).
+    pub fn reset_for_reuse(&mut self) {
+        self.srtt = None;
+        self.rttvar = SimDuration::ZERO;
+        self.latest = SimDuration::ZERO;
+        self.min_window.clear();
+        self.min_ever = SimDuration::MAX;
+        self.samples = 0;
+    }
+
     /// `true` once at least one sample has been taken.
     pub fn has_sample(&self) -> bool {
         self.srtt.is_some()

@@ -89,6 +89,22 @@ impl Scoreboard {
         Self::default()
     }
 
+    /// Resets to the fresh state in place, retaining every recycled
+    /// buffer's capacity (`outstanding`, `spare`, `lost_spare`) so a
+    /// recycled connection starts clean without touching the allocator.
+    pub fn reset_for_reuse(&mut self) {
+        self.outstanding.clear();
+        self.live = 0;
+        self.next_seq = 0;
+        self.highest_acked = None;
+        self.inflight_payload = 0;
+        self.delivered_bytes = 0;
+        self.total_lost_packets = 0;
+        self.total_acked_packets = 0;
+        self.spare.clear();
+        self.lost_spare.clear();
+    }
+
     /// Registers a transmission and returns its sequence number.
     pub fn on_send(&mut self, chunk: Chunk, wire_size: u64, sent_at: SimTime) -> u64 {
         let seq = self.next_seq;
@@ -226,8 +242,10 @@ impl Scoreboard {
     }
 
     /// Declares *everything* outstanding lost (retransmission timeout).
+    /// Like [`Scoreboard::detect_losses`], the result should come back
+    /// through [`Scoreboard::recycle_lost`].
     pub fn on_rto(&mut self) -> Vec<(u64, SentMeta)> {
-        let mut result = Vec::with_capacity(self.live);
+        let mut result = std::mem::take(&mut self.lost_spare);
         while let Some((seq, slot)) = self.outstanding.pop_front() {
             if let Some(meta) = slot {
                 self.inflight_payload -= meta.chunk.len;

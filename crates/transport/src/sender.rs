@@ -20,6 +20,18 @@ use std::any::Any;
 /// Per-packet header overhead on the wire (IP + TCP + MPTCP DSS).
 const HEADER_OVERHEAD: u64 = MSS_WIRE - MSS_PAYLOAD;
 
+/// Monitor intervals report strictly in order, so a subflow whose
+/// feedback stalls completely (e.g. an entire startup burst dropped, with
+/// the first RTO still pending) accumulates closed-but-unresolved
+/// intervals behind the stuck front one — at datacenter MI lengths the
+/// queue can grow by hundreds of entries per second. Past this backlog
+/// the MI expiry extends the running interval instead of opening another
+/// empty one; the next ACK or RTO drains the queue and the following
+/// expiry resumes the normal cycle. Ordinary pipelines stay single-digit
+/// deep (resolution lags close by about one RTT), so this only engages
+/// during a genuine feedback blackout.
+const MAX_MI_BACKLOG: usize = 64;
+
 /// Timer token kinds (packed into the high bits of the token).
 const K_PACE: u64 = 1;
 const K_MI: u64 = 2;
@@ -163,6 +175,45 @@ impl MpSender {
         }
     }
 
+    /// Resets this sender for a new connection over `paths`, reusing every
+    /// internal allocation (subflows, scoreboards, range sets, buffers).
+    ///
+    /// Returns `false` — leaving the sender untouched — when the
+    /// controller does not support in-place reset (see
+    /// [`MultipathCc::reset_for_reuse`]); callers then construct a fresh
+    /// sender instead. On success the sender is exactly as if newly
+    /// constructed with the same scheduler and peer-buffer settings: not
+    /// started, so the driver's `start` runs the usual `begin` path.
+    pub fn reset_for_reuse(
+        &mut self,
+        dst: EndpointId,
+        paths: &[PathId],
+        workload: Workload,
+        start_at: SimTime,
+    ) -> bool {
+        if !self.cc.reset_for_reuse() {
+            return false;
+        }
+        assert!(!paths.is_empty(), "a connection needs ≥ 1 subflow");
+        self.cfg.dst = dst;
+        self.cfg.paths.clear();
+        self.cfg.paths.extend_from_slice(paths);
+        self.cfg.workload = workload;
+        self.cfg.start_at = start_at;
+        self.conn
+            .reset_for_reuse(workload, self.cfg.peer_buffer, start_at);
+        self.started = false;
+        self.done = false;
+        self.tracer = Tracer::off();
+        self.conn_id = 0;
+        self.view_buf.clear();
+        #[cfg(any(debug_assertions, feature = "invariants"))]
+        {
+            self.check_tick = 0;
+        }
+        true
+    }
+
     /// The controller's protocol name.
     pub fn cc_name(&self) -> &'static str {
         self.cc.name()
@@ -212,11 +263,22 @@ impl MpSender {
         self.conn_id = ctx.self_id().0 as u64;
         self.cc.set_tracer(self.tracer.clone(), self.conn_id);
         let now = ctx.now();
+        // A recycled sender (`reset_for_reuse`) re-enters here with its
+        // previous subflows still allocated; reset them in place rather
+        // than rebuilding, so churn workloads stay off the allocator.
+        if self.subflows.len() != self.cfg.paths.len() {
+            self.subflows.clear();
+        }
+        let reuse = !self.subflows.is_empty();
         for (i, &path) in self.cfg.paths.iter().enumerate() {
             // A-priori RTT estimate from the driver (propagation delays in
             // the simulator, a configured hint on a socket driver).
             let base_rtt = ctx.path_base_rtt(path);
-            self.subflows.push(Subflow::new(path, base_rtt));
+            if reuse {
+                self.subflows[i].reset_for_reuse(path, base_rtt);
+            } else {
+                self.subflows.push(Subflow::new(path, base_rtt));
+            }
             self.cc.init_subflow(i, now);
         }
         if self.uses_mi {
@@ -566,6 +628,7 @@ impl MpSender {
                 self.subflows[sf].mi.on_lost(*seq);
             }
         }
+        self.subflows[sf].scoreboard.recycle_lost(lost);
         self.subflows[sf].rto_backoff = (self.subflows[sf].rto_backoff * 2).min(16);
         self.subflows[sf].recovery_until = self.subflows[sf].scoreboard.next_seq();
         self.cc.on_rto(sf, now);
@@ -733,6 +796,15 @@ impl Endpoint for MpSender {
                 // Stale if a different MI is already running.
                 let current = self.subflows[sf].mi.current_id();
                 if current.is_none_or(|id| !epoch_matches(epoch, id)) {
+                    return;
+                }
+                if self.subflows[sf].mi.pending_len() >= MAX_MI_BACKLOG {
+                    // Feedback blackout (see MAX_MI_BACKLOG): extend the
+                    // running interval rather than deepen the queue.
+                    let now = ctx.now();
+                    let srtt = self.subflows[sf].srtt();
+                    let dur = self.cc.mi_duration(sf, srtt, ctx.rng());
+                    ctx.set_timer(now + dur, token(K_MI, sf, current.expect("checked above")));
                     return;
                 }
                 self.begin_mi(sf, ctx);

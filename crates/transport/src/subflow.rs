@@ -73,6 +73,29 @@ impl Subflow {
         }
     }
 
+    /// Rebinds this subflow to `path` and resets every field to the idle
+    /// state in place, keeping the scoreboard/RTT/MI/staging allocations so
+    /// connection recycling never touches the allocator.
+    pub fn reset_for_reuse(&mut self, path: PathId, base_rtt: SimDuration) {
+        self.path = path;
+        self.scoreboard.reset_for_reuse();
+        self.rtt.reset_for_reuse();
+        self.staged.clear();
+        self.staged_bytes = 0;
+        self.mi.reset_for_reuse();
+        self.pacing_rate = Rate::ZERO;
+        self.base_rtt = base_rtt;
+        self.pacer_epoch = 0;
+        self.pacer_armed = false;
+        self.next_send_at = SimTime::ZERO;
+        self.rto_armed = false;
+        self.rto_deadline = SimTime::MAX;
+        self.rto_backoff = 1;
+        self.recovery_until = 0;
+        self.sent_packets = 0;
+        self.sent_bytes = 0;
+    }
+
     /// Smoothed RTT, falling back to the propagation-delay estimate.
     pub fn srtt(&self) -> SimDuration {
         self.rtt.srtt_or(self.base_rtt)

@@ -106,6 +106,59 @@ fn steady_state_round_trips_do_not_allocate() {
     );
 }
 
+/// Steady-state *connection churn* must also be allocation-free: creating
+/// and destroying connections mid-run recycles endpoint boxes through the
+/// per-shard pools (`MpSender::reset_for_reuse`), keeps live-connection
+/// records in a pre-sized generation-tagged arena, and reuses every
+/// engine container (epoch outboxes, canonical dispatch batch, wheel
+/// slots). After a warm-up long enough to touch every level-3 wheel slot
+/// and reach peak concurrency, a window of hundreds of connection
+/// lifetimes — install, slow-start, completion, retirement, slot reuse —
+/// must not allocate once. Runs on the two-shard engine so the
+/// cross-shard handoff path is inside the measurement.
+#[test]
+fn churn_steady_state_does_not_allocate() {
+    use mpcc_experiments::scenarios::churn::{self, ChurnConfig};
+
+    let _serial = MEASUREMENT.lock().unwrap_or_else(|e| e.into_inner());
+    // 1500 connections arriving over 55 s (~27/s): the same Poisson/
+    // bounded-Pareto workload as the `churn` scenario, small enough for a
+    // debug-build test, long enough that the 40 s warm-up sees every
+    // wheel rotation and concurrency high-water mark (see the rotation
+    // notes in the first test; the window again stays short of 2^36 ns).
+    let cfg = ChurnConfig::small(11, 2, 1_500, 55);
+    let mut run = churn::build(&cfg);
+    run.sim.set_threaded(false);
+    run.sim
+        .run_until(SimTime::ZERO + SimDuration::from_secs(40));
+    let warm = run.collect();
+    assert!(
+        warm.fcts.len() > 800 && warm.fresh == 0,
+        "warm-up must reach steady churn on pooled boxes ({} done, {} fresh)",
+        warm.fcts.len(),
+        warm.fresh
+    );
+
+    // Measurement window: every allocation in here is a churn-path leak.
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    run.sim
+        .run_until(SimTime::ZERO + SimDuration::from_secs(56));
+    let delta = ALLOC_CALLS.load(Ordering::SeqCst) - before;
+
+    let out = run.collect();
+    let conns = out.fcts.len() - warm.fcts.len();
+    let events = out.total_events - warm.total_events;
+    assert!(
+        conns > 300 && events > 30_000,
+        "window must exercise churn ({conns} connection lifetimes, {events} events)"
+    );
+    assert_eq!(out.fresh, 0, "pools must absorb peak concurrency");
+    assert_eq!(
+        delta, 0,
+        "churn steady state allocated {delta} times over {conns} connection lifetimes ({events} events)"
+    );
+}
+
 /// The same workload with the streaming metrics pipeline attached at its
 /// default cadence. The pipeline aggregates per-bin and recycles its row
 /// strings, so its steady-state cost must stay *bounded*: a handful of

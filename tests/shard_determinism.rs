@@ -1,0 +1,72 @@
+//! Shard-count and backend invariance of the partitioned engine.
+//!
+//! DESIGN.md §16: every *emitted* quantity of a sharded run — flow
+//! completion times, the event digest, total event work, stale-event
+//! count — must be byte-identical at any shard count and under either
+//! epoch backend (sequential or barrier-synchronised threads). The
+//! connection-churn workload is the hardest case: endpoints are created
+//! and destroyed mid-run at epoch boundaries, so any drift in boundary
+//! placement or cross-shard handoff ordering shows up immediately.
+
+use mpcc_experiments::scenarios::churn::{self, ChurnConfig, ChurnOutcome};
+
+/// Runs the small churn workload at `shards` shards on the chosen
+/// backend and returns the full outcome.
+fn outcome(shards: u8, threaded: bool) -> ChurnOutcome {
+    // 300 connections over ~4 s: enough lifetimes to exercise arrival,
+    // retirement, pool reuse, and cross-shard traffic, small enough for
+    // a debug-build test.
+    let cfg = ChurnConfig::small(20201201, shards, 300, 4);
+    let mut run = churn::build(&cfg);
+    run.sim.set_threaded(threaded);
+    run.sim.run_until(cfg.duration);
+    run.collect()
+}
+
+#[test]
+fn churn_outcome_invariant_across_shard_counts() {
+    let base = outcome(1, false);
+    assert!(
+        base.fcts.len() > 200,
+        "workload must complete most connections ({} done)",
+        base.fcts.len()
+    );
+    for shards in [2u8, 4] {
+        let o = outcome(shards, false);
+        assert_eq!(
+            base.fcts, o.fcts,
+            "flow completion times differ at {shards} shards"
+        );
+        assert_eq!(
+            base.digest, o.digest,
+            "event digest differs at {shards} shards"
+        );
+        assert_eq!(
+            base.total_events, o.total_events,
+            "event work differs at {shards} shards"
+        );
+        assert_eq!(
+            base.stale_events, o.stale_events,
+            "stale-event count differs at {shards} shards"
+        );
+        assert_eq!(
+            (base.incomplete, base.skipped),
+            (o.incomplete, o.skipped),
+            "completion accounting differs at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn churn_outcome_invariant_across_backends() {
+    let seq = outcome(4, false);
+    let thr = outcome(4, true);
+    assert_eq!(seq.fcts, thr.fcts, "backends disagree on completion times");
+    assert_eq!(seq.digest, thr.digest, "backends disagree on the digest");
+    assert_eq!(seq.total_events, thr.total_events);
+    assert_eq!(seq.stale_events, thr.stale_events);
+    // Epoch layout and handoff counts are functions of the partition, not
+    // the backend, so even these N-variant internals must match here.
+    assert_eq!(seq.epochs, thr.epochs);
+    assert_eq!(seq.handoffs, thr.handoffs);
+}
