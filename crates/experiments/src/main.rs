@@ -300,6 +300,40 @@ fn main() {
             wall.elapsed_since(start).as_secs_f64()
         );
     }
+    // A requested sink that captured nothing after running scenarios is a
+    // failure, not a quiet success: every scenario emits transport events
+    // at minimum, so an empty stream means telemetry was never attached
+    // (the historical sharded-run blackout) or the filter matched nothing.
+    let has_payload = |path: &std::path::Path, csv: bool| -> bool {
+        use std::io::BufRead as _;
+        // Header-only CSV counts as empty; reading two lines is enough.
+        let need = 1 + usize::from(csv);
+        std::fs::File::open(path)
+            .map(|f| std::io::BufReader::new(f).lines().take(need).count() == need)
+            .unwrap_or(false)
+    };
+    let mut starved = Vec::new();
+    if let Some(tc) = cfg.exec.trace_config() {
+        if !has_payload(&tc.path, tc.is_csv()) {
+            starved.push(("--trace", tc.path.clone()));
+        }
+    }
+    if let Some(mc) = cfg.exec.metrics_config() {
+        if !has_payload(&mc.path, mc.is_csv()) {
+            starved.push(("--metrics", mc.path.clone()));
+        }
+    }
+    if !starved.is_empty() {
+        for (flag, path) in &starved {
+            eprintln!(
+                "{flag} {}: no events were captured — the sink was never \
+                 attached to a simulation, or --trace-filter excluded every \
+                 emitted layer",
+                path.display()
+            );
+        }
+        std::process::exit(1);
+    }
     // In checked builds (debug, or --features invariants) a clean exit
     // also certifies the runtime invariant layer stayed silent.
     let violations = mpcc_check::violations();

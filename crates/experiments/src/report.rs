@@ -137,6 +137,14 @@ fn parse_csv_row(line: &str) -> Result<Row, String> {
 }
 
 /// Parses a whole metrics document (auto-detects CSV by its header line).
+///
+/// Beyond per-row syntax, the stream-level shape is validated: within one
+/// run the bin timestamps must never go backwards. Every writer — the
+/// single-run pipeline, batch appends, and the sharded keyed merge — emits
+/// bins in time order per run (equal timestamps are normal, one per scope;
+/// a restart at a new run id is normal for batch files), so a backwards
+/// step means a corrupted or mis-merged stream and the aggregates built
+/// from it would silently mix bins.
 fn parse(doc: &str) -> Result<Vec<Row>, String> {
     let mut rows = Vec::new();
     let mut lines = doc.lines().enumerate();
@@ -144,6 +152,7 @@ fn parse(doc: &str) -> Result<Vec<Row>, String> {
     if csv {
         lines.next();
     }
+    let mut last_t: BTreeMap<u64, u64> = BTreeMap::new();
     for (i, line) in lines {
         if line.trim().is_empty() {
             continue;
@@ -153,7 +162,20 @@ fn parse(doc: &str) -> Result<Vec<Row>, String> {
         } else {
             parse_jsonl_row(line)
         };
-        rows.push(row.map_err(|e| format!("line {}: {e}", i + 1))?);
+        let row = row.map_err(|e| format!("line {}: {e}", i + 1))?;
+        let last = last_t.entry(row.run).or_insert(0);
+        if row.t_ns < *last {
+            return Err(format!(
+                "line {}: bin timestamp went backwards within run {} \
+                 ({} ns after {} ns) — corrupted or mis-merged stream",
+                i + 1,
+                row.run,
+                row.t_ns,
+                *last,
+            ));
+        }
+        *last = row.t_ns;
+        rows.push(row);
     }
     Ok(rows)
 }
@@ -516,6 +538,27 @@ mod tests {
             err.contains("line 1") && err.contains("non-finite"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn backwards_bin_timestamps_are_rejected_per_run() {
+        // Equal timestamps (several scopes per bin) and a fresh run
+        // restarting at an earlier time are both legal shapes.
+        let ok = "\
+{\"t_ns\":1000000000,\"run\":0,\"scope\":\"subflow\",\"conn\":0,\"subflow\":0,\"goodput_mbps\":1.0}
+{\"t_ns\":1000000000,\"run\":0,\"scope\":\"link\",\"link\":0,\"enq_bytes\":1}
+{\"t_ns\":2000000000,\"run\":0,\"scope\":\"subflow\",\"conn\":0,\"subflow\":0,\"goodput_mbps\":1.0}
+{\"t_ns\":1000000000,\"run\":1,\"scope\":\"subflow\",\"conn\":0,\"subflow\":0,\"goodput_mbps\":1.0}
+";
+        assert_eq!(parse(ok).unwrap().len(), 4);
+
+        // A backwards step within one run is a corrupted stream.
+        let bad = "\
+{\"t_ns\":2000000000,\"run\":0,\"scope\":\"subflow\",\"conn\":0,\"subflow\":0,\"goodput_mbps\":1.0}
+{\"t_ns\":1000000000,\"run\":0,\"scope\":\"subflow\",\"conn\":0,\"subflow\":0,\"goodput_mbps\":1.0}
+";
+        let err = parse(bad).unwrap_err();
+        assert!(err.contains("line 2") && err.contains("backwards"), "{err}");
     }
 
     #[test]

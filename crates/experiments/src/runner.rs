@@ -14,11 +14,11 @@ use mpcc_metrics::{RateSeries, Summary};
 use mpcc_netsim::fault::FaultPlan;
 use mpcc_netsim::link::{LinkParams, LinkStats};
 use mpcc_netsim::topology::parallel_links;
-use mpcc_netsim::EndpointId;
-use mpcc_simcore::{rng::splitmix64, SimDuration, SimTime};
+use mpcc_netsim::{EndpointId, ShardedSimulation, Simulation};
+use mpcc_simcore::{rng::splitmix64, DispatchStamp, SimDuration, SimTime};
 use mpcc_telemetry::{
-    CsvSink, JsonlSink, LayerMask, MetricsPipeline, PipelineConfig, Record, TeeSink, TraceSink,
-    Tracer,
+    merge_keyed_parts, CsvSink, JsonlSink, KeyedSink, LayerMask, MetricsPipeline, PipelineConfig,
+    Record, TeeSink, TraceSink, Tracer,
 };
 use mpcc_transport::{MpReceiver, MpSender, ReceiverStats, SenderConfig, Workload};
 use std::collections::VecDeque;
@@ -44,7 +44,8 @@ pub struct TraceConfig {
 }
 
 impl TraceConfig {
-    fn is_csv(&self) -> bool {
+    /// Whether the destination's extension selects CSV rows.
+    pub fn is_csv(&self) -> bool {
         self.path.extension().is_some_and(|e| e == "csv")
     }
 
@@ -62,6 +63,23 @@ impl TraceConfig {
             .unwrap_or("jsonl");
         self.path
             .with_file_name(format!("{stem}.run{run_id:05}.{ext}"))
+    }
+
+    /// The per-shard keyed part file of a directly-built sharded run
+    /// (see [`ShardTelemetry`]).
+    pub fn shard_path(&self, tag: &str, shard: usize) -> PathBuf {
+        let stem = self
+            .path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("trace");
+        let ext = self
+            .path
+            .extension()
+            .and_then(|s| s.to_str())
+            .unwrap_or("jsonl");
+        self.path
+            .with_file_name(format!("{stem}.{tag}.shard{shard:02}.{ext}"))
     }
 
     fn make_sink(&self, run_id: u64) -> io::Result<Arc<dyn TraceSink>> {
@@ -110,7 +128,8 @@ impl MetricsConfig {
         self
     }
 
-    fn is_csv(&self) -> bool {
+    /// Whether the destination's extension selects CSV rows.
+    pub fn is_csv(&self) -> bool {
         self.path.extension().is_some_and(|e| e == "csv")
     }
 
@@ -128,6 +147,23 @@ impl MetricsConfig {
             .unwrap_or("jsonl");
         self.path
             .with_file_name(format!("{stem}.run{run_id:05}.{ext}"))
+    }
+
+    /// The per-shard keyed part file of a directly-built sharded run
+    /// (see [`ShardTelemetry`]).
+    pub fn shard_path(&self, tag: &str, shard: usize) -> PathBuf {
+        let stem = self
+            .path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("metrics");
+        let ext = self
+            .path
+            .extension()
+            .and_then(|s| s.to_str())
+            .unwrap_or("jsonl");
+        self.path
+            .with_file_name(format!("{stem}.{tag}.shard{shard:02}.{ext}"))
     }
 
     fn make_pipeline(&self, run_id: u64) -> io::Result<Arc<MetricsPipeline>> {
@@ -373,6 +409,164 @@ impl Executor {
     pub fn run_one(&self, sc: &Scenario) -> RunResult {
         self.run_batch(vec![sc.clone()]).pop().expect("one result")
     }
+
+    /// The configured merged-trace destination, if any.
+    pub fn trace_config(&self) -> Option<&TraceConfig> {
+        self.inner.trace.as_ref()
+    }
+
+    /// The configured merged-metrics destination, if any.
+    pub fn metrics_config(&self) -> Option<&MetricsConfig> {
+        self.inner.metrics.as_ref()
+    }
+
+    /// Telemetry plumbing for a scenario that builds its own (sharded)
+    /// simulation instead of going through [`Executor::run_batch`] —
+    /// `None` when neither `--trace` nor `--metrics` is configured, so
+    /// untraced runs pay nothing. `tag` names the part files (it must be
+    /// unique within the process, e.g. the scenario or protocol name);
+    /// the claimed run id keeps metrics rows distinguishable from other
+    /// batches merged into the same file. Claim telemetry in a
+    /// deterministic order (before farming jobs to [`Executor::map`]) so
+    /// run ids are worker-count-independent, like batch submission ids.
+    pub fn shard_telemetry(&self, tag: &str) -> Option<ShardTelemetry> {
+        if self.inner.trace.is_none() && self.inner.metrics.is_none() {
+            return None;
+        }
+        Some(ShardTelemetry {
+            trace: self.inner.trace.clone(),
+            metrics: self.inner.metrics.clone(),
+            run_id: self.inner.next_run_id.fetch_add(1, Ordering::Relaxed),
+            tag: tag.to_string(),
+            trace_parts: Vec::new(),
+            metrics_parts: Vec::new(),
+        })
+    }
+}
+
+/// Per-shard telemetry for directly-built scenarios (`churn`, the sharded
+/// `fig19` paths): one keyed part stream per shard, merged afterwards into
+/// the executor's `--trace`/`--metrics` files in canonical dispatch order,
+/// so the merged bytes are identical at every `--shards` count and across
+/// the sequential/threaded backends (DESIGN.md §13).
+///
+/// Lifecycle: [`Executor::shard_telemetry`] → [`ShardTelemetry::install`]
+/// (or [`install_single`](ShardTelemetry::install_single) for a plain
+/// one-instance simulation) → run → flush the simulation's tracers →
+/// [`ShardTelemetry::merge`].
+pub struct ShardTelemetry {
+    trace: Option<TraceConfig>,
+    metrics: Option<MetricsConfig>,
+    run_id: u64,
+    tag: String,
+    trace_parts: Vec<PathBuf>,
+    metrics_parts: Vec<PathBuf>,
+}
+
+impl ShardTelemetry {
+    /// Builds one shard's tracer: the same four-way trace/metrics/tee
+    /// combination as the executor's per-run tracer, but writing keyed
+    /// part streams ordered by the shared dispatch stamp.
+    fn make_shard_tracer(
+        &mut self,
+        shard: usize,
+        stamp: &Arc<DispatchStamp>,
+    ) -> io::Result<Tracer> {
+        let trace_branch: Option<(Arc<dyn TraceSink>, LayerMask)> = match &self.trace {
+            Some(tc) => {
+                let path = tc.shard_path(&self.tag, shard);
+                let sink = KeyedSink::create(&path, tc.is_csv(), Arc::clone(stamp))?;
+                self.trace_parts.push(path);
+                Some((Arc::new(sink), tc.mask))
+            }
+            None => None,
+        };
+        let metrics_branch: Option<(Arc<dyn TraceSink>, LayerMask)> = match &self.metrics {
+            Some(mc) => {
+                let path = mc.shard_path(&self.tag, shard);
+                let cfg = PipelineConfig::default()
+                    .with_bin(mc.bin)
+                    .with_ring(mc.ring_lines)
+                    .with_run(self.run_id)
+                    .with_keyed(true);
+                // Raw writer, not `MetricsPipeline::create`: part files are
+                // headerless, the merged file owns the CSV header.
+                let w: Box<dyn io::Write + Send> =
+                    Box::new(io::BufWriter::new(fs::File::create(&path)?));
+                let pipeline = MetricsPipeline::new(cfg, mc.is_csv(), w);
+                self.metrics_parts.push(path);
+                Some((Arc::new(pipeline), LayerMask::ALL))
+            }
+            None => None,
+        };
+        Ok(match (trace_branch, metrics_branch) {
+            (Some((sink, mask)), None) => Tracer::new(sink, mask),
+            (None, Some((sink, mask))) => Tracer::new(sink, mask),
+            (Some(t), Some(m)) => Tracer::new(Arc::new(TeeSink::new(vec![t, m])), LayerMask::ALL),
+            (None, None) => unreachable!("ShardTelemetry exists only with a sink configured"),
+        })
+    }
+
+    /// Attaches one keyed part sink (and dispatch-stamp cell) per shard.
+    /// Call before the first `run_until`.
+    pub fn install(&mut self, sim: &mut ShardedSimulation) -> io::Result<()> {
+        for i in 0..sim.shards() {
+            let stamp = Arc::new(DispatchStamp::new());
+            let tracer = self.make_shard_tracer(i, &stamp)?;
+            sim.install_tracer(i, tracer, stamp);
+        }
+        Ok(())
+    }
+
+    /// Attaches a single part sink to a plain one-instance simulation (the
+    /// legacy `fig19 --shards 1` path). The legacy event loop leaves the
+    /// dispatch stamp untouched, so every record shares one key and the
+    /// within-dispatch sequence number alone preserves emission order —
+    /// a one-part merge then reproduces the plain sink bytes.
+    pub fn install_single(&mut self, sim: &mut Simulation) -> io::Result<()> {
+        let stamp = Arc::new(DispatchStamp::new());
+        let tracer = self.make_shard_tracer(0, &stamp)?;
+        sim.set_trace_stamp(stamp);
+        sim.set_tracer(tracer);
+        Ok(())
+    }
+
+    /// Merges the per-shard part files into the final `--trace`/`--metrics`
+    /// files in canonical key order and removes them. Part files must be
+    /// flushed first ([`ShardedSimulation::flush_tracers`]). Per-part row
+    /// counts go to stderr so a truncated shard stream is visible instead
+    /// of silently under-merging (report.rs cross-checks the totals).
+    pub fn merge(self) -> io::Result<()> {
+        if let Some(tc) = &self.trace {
+            let header = tc.is_csv().then(Record::csv_header);
+            let rows = merge_keyed_parts(&tc.path, &self.trace_parts, header)?;
+            report_part_rows(&self.tag, "trace", &rows);
+            for p in &self.trace_parts {
+                fs::remove_file(p)?;
+            }
+        }
+        if let Some(mc) = &self.metrics {
+            let header = mc.is_csv().then_some(MetricsPipeline::CSV_HEADER);
+            let rows = merge_keyed_parts(&mc.path, &self.metrics_parts, header)?;
+            report_part_rows(&self.tag, "metrics", &rows);
+            for p in &self.metrics_parts {
+                fs::remove_file(p)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One stderr line per merged stream: the total and the per-part row
+/// counts, in shard order.
+fn report_part_rows(tag: &str, stream: &str, rows: &[u64]) {
+    let total: u64 = rows.iter().sum();
+    let parts: Vec<String> = rows.iter().map(|r| r.to_string()).collect();
+    eprintln!(
+        "{tag}: merged {total} {stream} rows from {} part(s) [{}]",
+        rows.len(),
+        parts.join(" ")
+    );
 }
 
 /// Appends each per-run part file to the merged file in run-id order and

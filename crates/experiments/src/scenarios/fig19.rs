@@ -11,6 +11,7 @@
 
 use crate::output::{f3, Figure};
 use crate::protocols;
+use crate::runner::ShardTelemetry;
 use crate::ExpConfig;
 use mpcc_metrics::Summary;
 use mpcc_netsim::topology::{Clos, ClosConfig};
@@ -37,15 +38,40 @@ struct FlowSpec {
     class: usize, // 0 short, 1 medium, 2 long
 }
 
-/// Per-class flow sizes: `--full-scale` restores the paper's 10 KB /
-/// 10 MB classes with a 1 GB bulk class (the paper's 10 GB cut 10× to
-/// bound runtime; noted on the figure), otherwise the ~20×-scaled-down
-/// defaults.
-fn class_sizes(cfg: &ExpConfig) -> (u64, u64, u64) {
-    if cfg.full_scale {
+/// Workload shape: per-host flow counts, per-class sizes, and the hard
+/// time cap. Derived from the [`ExpConfig`] tiers by [`shape`];
+/// [`run_protocols_scaled`] substitutes a miniature one for tests.
+#[derive(Clone, Copy)]
+struct Shape {
+    /// Per-host (long, medium, short) flow counts.
+    counts: (usize, usize, usize),
+    /// Per-class (long, medium, short) flow sizes, bytes.
+    sizes: (u64, u64, u64),
+    /// Hard cap on simulated time, seconds.
+    cap_secs: u64,
+}
+
+/// The scenario's workload shape: `--full-scale` restores the paper's
+/// 10 KB / 10 MB classes with a 1 GB bulk class (the paper's 10 GB cut
+/// 10× to bound runtime; noted on the figure), otherwise the
+/// ~20×-scaled-down defaults.
+fn shape(cfg: &ExpConfig) -> Shape {
+    let counts = if cfg.full_scale {
+        // Full link rate with per-host counts at the reduced tier: the
+        // bulk class alone is ~8 GB of payload per protocol.
+        (1, 3, 6)
+    } else {
+        cfg.scale((2, 5, 8), (4, 10, 20))
+    };
+    let sizes = if cfg.full_scale {
         (1_000_000_000, 10_000_000, 10_000)
     } else {
         (cfg.scale(50_000_000, 200_000_000), 1_000_000, 10_000)
+    };
+    Shape {
+        counts,
+        sizes,
+        cap_secs: cfg.scale(120, 300),
     }
 }
 
@@ -70,16 +96,10 @@ fn fabric(cfg: &ExpConfig) -> ClosConfig {
 }
 
 /// The workload (shared across protocols via the seed).
-fn workload(cfg: &ExpConfig, hosts: usize, seed: u64) -> Vec<FlowSpec> {
+fn workload(shape: &Shape, hosts: usize, seed: u64) -> Vec<FlowSpec> {
     let mut rng = SimRng::seed_from_u64(seed);
-    let (n_long, n_med, n_short) = if cfg.full_scale {
-        // Full link rate with per-host counts at the reduced tier: the
-        // bulk class alone is ~8 GB of payload per protocol.
-        (1, 3, 6)
-    } else {
-        cfg.scale((2, 5, 8), (4, 10, 20))
-    };
-    let (long_b, med_b, short_b) = class_sizes(cfg);
+    let (n_long, n_med, n_short) = shape.counts;
+    let (long_b, med_b, short_b) = shape.sizes;
     let mut flows = Vec::new();
     let pick_dst = |src: usize, rng: &mut SimRng| loop {
         let d = rng.index(hosts);
@@ -148,9 +168,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
 
     // Each protocol's Clos run is an independent simulation: farm them out
     // across the worker pool and consume results in PROTOCOLS order.
-    let outcomes = cfg
-        .exec
-        .map(PROTOCOLS.to_vec(), |proto| run_proto(cfg, proto));
+    let outcomes = run_protocols(cfg, &PROTOCOLS, shape(cfg));
     for (proto, (fcts, incomplete)) in PROTOCOLS.iter().zip(outcomes) {
         for (class, fig) in per_class.iter_mut().enumerate() {
             let s = Summary::of(&fcts[class]);
@@ -165,7 +183,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
             ]);
         }
         if incomplete > 0 {
-            let cap_secs = cfg.scale(120, 300);
+            let cap_secs = shape(cfg).cap_secs;
             per_class[2].note(format!(
                 "{proto}: {incomplete} flows had not completed at the {cap_secs}-second cap"
             ));
@@ -185,21 +203,69 @@ pub fn run(cfg: &ExpConfig) -> Vec<Figure> {
     figs
 }
 
+/// Farms `protos` out across the worker pool and returns their outcomes
+/// in input order. Telemetry (when `--trace`/`--metrics` is configured on
+/// the executor) is claimed per protocol *before* the fan-out — so run
+/// ids are worker-count-independent — and the per-shard part files are
+/// merged afterwards in the same deterministic order.
+fn run_protocols(cfg: &ExpConfig, protos: &[&str], shape: Shape) -> Vec<(Vec<Vec<f64>>, usize)> {
+    let jobs: Vec<(&str, Option<ShardTelemetry>)> = protos
+        .iter()
+        .map(|p| (*p, cfg.exec.shard_telemetry(&format!("fig19-{p}"))))
+        .collect();
+    let results = cfg
+        .exec
+        .map(jobs, |(proto, telem)| run_proto(cfg, proto, shape, telem));
+    results
+        .into_iter()
+        .map(|(fcts, incomplete, telem)| {
+            if let Some(t) = telem {
+                t.merge().expect("cannot merge fig19 telemetry part files");
+            }
+            (fcts, incomplete)
+        })
+        .collect()
+}
+
+/// Test/harness entry: runs `protos` through the executor pool exactly as
+/// [`run`] does (per-protocol telemetry claimed and merged in order), but
+/// with a miniature workload — one long / one medium / two short flows
+/// per host with 20×-smaller classes, capped at `cap_secs` — so shard
+/// determinism can be exercised in seconds.
+pub fn run_protocols_scaled(
+    cfg: &ExpConfig,
+    protos: &[&str],
+    cap_secs: u64,
+) -> Vec<(Vec<Vec<f64>>, usize)> {
+    let shape = Shape {
+        counts: (1, 1, 2),
+        sizes: (2_500_000, 250_000, 10_000),
+        cap_secs,
+    };
+    run_protocols(cfg, protos, shape)
+}
+
 /// Runs one protocol's complete Clos workload; returns the per-class FCT
-/// samples (ms) and the number of flows still incomplete at the cap.
+/// samples (ms), the number of flows still incomplete at the cap, and the
+/// telemetry handle (ready to merge once back on the submitting thread).
 ///
 /// The default path (`--shards 1`, no `--full-scale`) is the original
 /// single-instance engine, byte-identical to the committed goldens;
 /// `--shards N` and `--full-scale` run the same workload on the
 /// partitioned engine.
-fn run_proto(cfg: &ExpConfig, proto: &str) -> (Vec<Vec<f64>>, usize) {
+fn run_proto(
+    cfg: &ExpConfig,
+    proto: &str,
+    shape: Shape,
+    mut telem: Option<ShardTelemetry>,
+) -> (Vec<Vec<f64>>, usize, Option<ShardTelemetry>) {
     if cfg.shards > 1 || cfg.full_scale {
-        return run_proto_sharded(cfg, proto);
+        return run_proto_sharded(cfg, proto, shape, telem);
     }
     let seed = splitmix64(cfg.seed ^ 0x1919);
     let mut clos = Clos::new(seed, fabric(cfg));
     let hosts = clos.hosts();
-    let flows = workload(cfg, hosts, splitmix64(seed ^ 1));
+    let flows = workload(&shape, hosts, splitmix64(seed ^ 1));
     let mut senders = Vec::new();
     // Paths must be registered before endpoints run; collect first.
     let flow_paths: Vec<_> = flows
@@ -207,6 +273,10 @@ fn run_proto(cfg: &ExpConfig, proto: &str) -> (Vec<Vec<f64>>, usize) {
         .map(|f| clos.subflow_paths(f.src, f.dst, 3))
         .collect();
     let mut sim = clos.sim;
+    if let Some(t) = telem.as_mut() {
+        t.install_single(&mut sim)
+            .expect("cannot create fig19 telemetry part file");
+    }
     for (i, flow) in flows.iter().enumerate() {
         let recv = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
         let cc = protocols::make(proto, splitmix64(seed ^ (0x5EED + i as u64)));
@@ -221,7 +291,7 @@ fn run_proto(cfg: &ExpConfig, proto: &str) -> (Vec<Vec<f64>>, usize) {
         senders.push(sim.add_endpoint(Box::new(MpSender::new(cfg_s, cc))));
     }
     // Run until all flows complete (or a hard cap).
-    let cap = SimTime::from_secs(cfg.scale(120, 300));
+    let cap = SimTime::from_secs(shape.cap_secs);
     let mut t = SimTime::ZERO;
     loop {
         t += SimDuration::from_secs(1);
@@ -233,6 +303,7 @@ fn run_proto(cfg: &ExpConfig, proto: &str) -> (Vec<Vec<f64>>, usize) {
             break;
         }
     }
+    sim.tracer().flush();
     // Collect per-class FCTs.
     let mut fcts: Vec<Vec<f64>> = vec![Vec::new(); 3];
     let mut incomplete = 0;
@@ -242,21 +313,26 @@ fn run_proto(cfg: &ExpConfig, proto: &str) -> (Vec<Vec<f64>>, usize) {
             None => incomplete += 1,
         }
     }
-    (fcts, incomplete)
+    (fcts, incomplete, telem)
 }
 
 /// The sharded variant: the same workload partitioned by rack over
 /// `cfg.shards` engine instances (DESIGN.md §16). Every shard registers
 /// the identical links/paths/endpoint slots (so ids line up) and installs
 /// only the endpoints of the hosts it owns.
-fn run_proto_sharded(cfg: &ExpConfig, proto: &str) -> (Vec<Vec<f64>>, usize) {
+fn run_proto_sharded(
+    cfg: &ExpConfig,
+    proto: &str,
+    shape: Shape,
+    mut telem: Option<ShardTelemetry>,
+) -> (Vec<Vec<f64>>, usize, Option<ShardTelemetry>) {
     let k = cfg.shards.max(1);
     let seed = splitmix64(cfg.seed ^ 0x1919);
     let fab = fabric(cfg);
     // Layout pass: flow list, ownership tables, endpoint id assignment.
     let mut scratch = Clos::new(seed, fab);
     let hosts = scratch.hosts();
-    let flows = workload(cfg, hosts, splitmix64(seed ^ 1));
+    let flows = workload(&shape, hosts, splitmix64(seed ^ 1));
     for f in &flows {
         scratch.subflow_paths(f.src, f.dst, 3);
     }
@@ -305,7 +381,11 @@ fn run_proto_sharded(cfg: &ExpConfig, proto: &str) -> (Vec<Vec<f64>>, usize) {
         }
         sim
     });
-    let cap = SimTime::from_secs(cfg.scale(120, 300));
+    if let Some(t) = telem.as_mut() {
+        t.install(&mut sim)
+            .expect("cannot create fig19 telemetry part files");
+    }
+    let cap = SimTime::from_secs(shape.cap_secs);
     let mut t = SimTime::ZERO;
     loop {
         t += SimDuration::from_secs(1);
@@ -319,6 +399,7 @@ fn run_proto_sharded(cfg: &ExpConfig, proto: &str) -> (Vec<Vec<f64>>, usize) {
             break;
         }
     }
+    sim.flush_tracers();
     let mut fcts: Vec<Vec<f64>> = vec![Vec::new(); 3];
     let mut incomplete = 0;
     for (i, flow) in flows.iter().enumerate() {
@@ -331,5 +412,5 @@ fn run_proto_sharded(cfg: &ExpConfig, proto: &str) -> (Vec<Vec<f64>>, usize) {
             None => incomplete += 1,
         }
     }
-    (fcts, incomplete)
+    (fcts, incomplete, telem)
 }

@@ -14,9 +14,11 @@ use crate::ids::{EndpointId, LinkId, PathId};
 use crate::link::{Admission, DropKind, Link, LinkParams, LinkStats, TxOutcome};
 use crate::packet::{Header, Packet};
 use mpcc_simcore::{
-    rng::splitmix64, EventQueue, ProfCat, ProfileReport, Profiler, SimDuration, SimRng, SimTime,
+    rng::splitmix64, DispatchStamp, EventQueue, ProfCat, ProfileReport, Profiler, SimDuration,
+    SimRng, SimTime,
 };
 use mpcc_telemetry::{Layer, LinkEvent, Tracer};
+use std::sync::Arc;
 
 pub use mpcc_transport::{Endpoint, HostCtx};
 
@@ -378,6 +380,10 @@ pub struct Simulation {
     /// Events dropped because their endpoint slot was empty (reserved but
     /// not installed, or already removed by a churn driver).
     stale_events: u64,
+    /// Canonical-dispatch position cell shared with this shard's keyed
+    /// telemetry sink (`None` when untraced — the stamping branch then
+    /// costs one `Option` check per dispatched event and nothing else).
+    trace_stamp: Option<Arc<DispatchStamp>>,
 }
 
 impl Simulation {
@@ -406,6 +412,7 @@ impl Simulation {
             inline_limit: SimTime::MAX,
             digest: 0,
             stale_events: 0,
+            trace_stamp: None,
         }
     }
 
@@ -424,6 +431,18 @@ impl Simulation {
     /// The simulation's tracer handle.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Shares the canonical-dispatch position cell with this instance's
+    /// keyed telemetry sink (see [`mpcc_simcore::DispatchStamp`]). The
+    /// canonical loop publishes `(time, same-time round, canon-key)` into
+    /// the cell before dispatching each event; endpoint `start` hooks run
+    /// as round 0 keyed by endpoint id, and inline link completions as a
+    /// round-1 singleton keyed like the `TxComplete` they replace. Only
+    /// meaningful in canonical mode (the sharded engine); the legacy loop
+    /// never stamps.
+    pub fn set_trace_stamp(&mut self, stamp: Arc<DispatchStamp>) {
+        self.trace_stamp = Some(stamp);
     }
 
     /// Current simulation time.
@@ -789,6 +808,15 @@ impl Simulation {
     /// (`sort_unstable` also never allocates, keeping churn steady state
     /// off the allocator; the stable sort takes per-call scratch.)
     fn run_loop_canonical(&mut self, until: SimTime, inclusive: bool) {
+        // Same-time batches are numbered as *rounds* (1, 2, … per
+        // timestamp; endpoint starts are round 0) for the telemetry
+        // dispatch stamp. Rounds are partition-invariant: same-time
+        // follow-up chains are shard-local (every cross-shard handoff
+        // travels at least one lookahead into the future), so the union
+        // over shards of round-`r` batches at `t` equals the one-shard
+        // round-`r` batch.
+        let mut round_t = SimTime::ZERO;
+        let mut round = 0u64;
         while let Some(t) = self.events.peek_time() {
             if t > until || (!inclusive && t == until) {
                 break;
@@ -807,12 +835,21 @@ impl Simulation {
             }
             batch.sort_unstable_by_key(canon_key);
             self.now = t;
+            if t != round_t {
+                round_t = t;
+                round = 0;
+            }
+            round += 1;
             let n = batch.len();
             for (i, ev) in batch.drain(..).enumerate() {
                 // Inline link service is only sound for the final event of
                 // the batch: any earlier event still has same-time work
                 // pending that could touch the link being serviced.
                 let may_inline = i + 1 == n;
+                if let Some(stamp) = &self.trace_stamp {
+                    let (class, a, b) = canon_key(&ev);
+                    stamp.set(t.as_nanos(), round, (class as u64, a, b));
+                }
                 let cat = if Profiler::ENABLED {
                     Some(self.classify(&ev))
                 } else {
@@ -850,8 +887,23 @@ impl Simulation {
     }
 
     fn start_pending(&mut self) {
+        // Canonical mode runs same-instant starts in ascending endpoint-id
+        // order — the canonical order for starts, exactly as same-time
+        // event batches dispatch in canon-key order. This is partition
+        // invariant (endpoints sharing any mutable state are co-sharded
+        // with it, and co-sharded ids sort the same way in every
+        // partition), and it is what lets start-hook telemetry be keyed by
+        // endpoint id: each shard's round-0 stamps are then monotonic, so
+        // its keyed part stream stays sorted. Legacy mode keeps exact
+        // installation order (pre-sharding byte compatibility).
+        if self.canonical {
+            self.started.sort_unstable();
+        }
         while let Some(id) = self.started.first().copied() {
             self.started.remove(0);
+            if let Some(stamp) = &self.trace_stamp {
+                stamp.set(self.now.as_nanos(), 0, (0, id.0 as u64, 0));
+            }
             self.with_endpoint(id, |ep, ctx| ep.start(ctx));
         }
     }
@@ -969,6 +1021,15 @@ impl Simulation {
                     self.digest = self
                         .digest
                         .wrapping_add(event_digest(done, &Event::TxComplete(link_id)));
+                    if let Some(stamp) = &self.trace_stamp {
+                        // Inline service is provably the only activity at
+                        // `done` on any shard, so it stamps exactly as the
+                        // round-1 singleton batch the queued `TxComplete`
+                        // would have formed — the stamp is inline-decision
+                        // neutral.
+                        let (class, a, b) = canon_key(&Event::TxComplete(link_id));
+                        stamp.set(done.as_nanos(), 1, (class as u64, a, b));
+                    }
                     continue;
                 }
                 self.events.schedule(done, Event::TxComplete(link_id));

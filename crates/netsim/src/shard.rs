@@ -21,10 +21,11 @@
 
 use crate::network::Simulation;
 use crate::packet::Packet;
-use mpcc_simcore::{ProfCat, Profiler, SimDuration, SimTime, SpinBarrier};
+use mpcc_simcore::{DispatchStamp, ProfCat, Profiler, SimDuration, SimTime, SpinBarrier};
+use mpcc_telemetry::Tracer;
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Per-shard driver logic that runs between epochs — the seam churn
 /// scenarios use to create and retire connections mid-run.
@@ -169,6 +170,28 @@ impl ShardedSimulation {
     /// Installs the boundary hook of shard `i`.
     pub fn set_hook(&mut self, i: usize, hook: Box<dyn ShardHook>) {
         self.hooks[i] = hook;
+    }
+
+    /// Installs shard `i`'s telemetry: the tracer every layer on that
+    /// shard emits through, plus the dispatch-stamp cell the shard's
+    /// event loop publishes its canonical position into. A keyed sink
+    /// (see `mpcc-telemetry`'s `KeyedSink`) reading the same cell writes
+    /// a part stream that merges deterministically with the other shards'
+    /// parts. Install before running — events already dispatched are not
+    /// replayed.
+    pub fn install_tracer(&mut self, i: usize, tracer: Tracer, stamp: Arc<DispatchStamp>) {
+        let s = &mut self.shards[i];
+        s.set_trace_stamp(stamp);
+        s.set_tracer(tracer);
+    }
+
+    /// Flushes every shard's tracer (closing metrics bins and draining
+    /// buffered part-stream writers). Call after the run, before merging
+    /// part files.
+    pub fn flush_tracers(&self) {
+        for s in &self.shards {
+            s.tracer().flush();
+        }
     }
 
     /// Read access to shard `i`'s hook (downcast via [`ShardHook::as_any`]).
@@ -574,6 +597,42 @@ mod tests {
             "epoch-skip failed: {} epochs",
             sim.epochs()
         );
+    }
+
+    #[test]
+    fn keyed_traces_merge_identically_across_shard_counts() {
+        use mpcc_telemetry::{merge_keyed_parts, KeyedSink, LayerMask, Tracer};
+
+        let dir = std::env::temp_dir().join(format!("mpcc-shard-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut merged_texts = Vec::new();
+        for n in [1u8, 2] {
+            let mut sim = build_chain(n);
+            sim.set_threaded(false);
+            let mut parts = Vec::new();
+            for i in 0..sim.shards() {
+                let stamp = Arc::new(DispatchStamp::new());
+                let part = dir.join(format!("n{n}.shard{i}.part"));
+                let sink = KeyedSink::create(&part, false, stamp.clone()).unwrap();
+                sim.install_tracer(i, Tracer::new(Arc::new(sink), LayerMask::ALL), stamp);
+                parts.push(part);
+            }
+            sim.run_until(SimTime::from_secs(2));
+            sim.flush_tracers();
+            let merged = dir.join(format!("n{n}.jsonl"));
+            let _ = std::fs::remove_file(&merged);
+            let counts = merge_keyed_parts(&merged, &parts, None).unwrap();
+            assert!(
+                counts.iter().sum::<u64>() > 0,
+                "sharded trace must be non-empty"
+            );
+            merged_texts.push(std::fs::read_to_string(&merged).unwrap());
+        }
+        assert_eq!(
+            merged_texts[0], merged_texts[1],
+            "merged trace differs between 1 and 2 shards"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

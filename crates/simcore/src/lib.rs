@@ -23,6 +23,6 @@ pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use profiler::{ProfCat, ProfileReport, Profiler, Stamp};
 pub use queue::EventQueue;
 pub use rng::SimRng;
-pub use shard::SpinBarrier;
+pub use shard::{DispatchStamp, SpinBarrier};
 pub use time::{SimDuration, SimTime};
 pub use units::{bdp_bytes, bytes, Rate};

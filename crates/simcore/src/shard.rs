@@ -8,7 +8,7 @@
 //! keeps the fast path lock-free when every core has a dedicated worker
 //! while degrading gracefully on oversubscribed machines.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Bounded spin iterations before falling back to `thread::yield_now`.
 /// On oversubscribed hosts (fewer cores than shards) unbounded spinning
@@ -59,10 +59,65 @@ impl SpinBarrier {
     }
 }
 
+/// The canonical dispatch position of the event currently being processed
+/// by one shard's event loop: `(time, round, canon-key)`.
+///
+/// The sharded engine dispatches same-time events in *rounds* — each round
+/// is one canonical batch, sorted by the engine's canon-key — and that
+/// `(time, round, key)` order is identical at every shard count. A shard's
+/// event loop publishes its current position here before dispatching each
+/// event; the shard's telemetry sink reads it back to prefix every emitted
+/// record with a global sort key, which is what makes the cross-shard part
+/// merge deterministic (see `mpcc-telemetry`'s keyed sink).
+///
+/// Writer and reader are the same thread (emission happens inside
+/// dispatch), so the atomics exist only to make the cell `Sync`; all
+/// accesses are relaxed and the stamp costs a handful of plain stores per
+/// dispatched event — nothing on the untraced path, which never installs
+/// one.
+#[derive(Default)]
+pub struct DispatchStamp {
+    t: AtomicU64,
+    round: AtomicU64,
+    k0: AtomicU64,
+    k1: AtomicU64,
+    k2: AtomicU64,
+}
+
+impl DispatchStamp {
+    /// A stamp at position zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes the dispatch position: time `t` (ns), same-time round
+    /// `round`, and the canonical event key.
+    #[inline]
+    pub fn set(&self, t: u64, round: u64, key: (u64, u64, u64)) {
+        self.t.store(t, Ordering::Relaxed);
+        self.round.store(round, Ordering::Relaxed);
+        self.k0.store(key.0, Ordering::Relaxed);
+        self.k1.store(key.1, Ordering::Relaxed);
+        self.k2.store(key.2, Ordering::Relaxed);
+    }
+
+    /// The current position as a 5-tuple sort key
+    /// `(t, round, k0, k1, k2)`.
+    #[inline]
+    pub fn get(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.t.load(Ordering::Relaxed),
+            self.round.load(Ordering::Relaxed),
+            self.k0.load(Ordering::Relaxed),
+            self.k1.load(Ordering::Relaxed),
+            self.k2.load(Ordering::Relaxed),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
 
     #[test]
     fn single_worker_barrier_is_trivial() {
@@ -93,6 +148,14 @@ mod tests {
             }
         });
         assert_eq!(counter.load(Ordering::SeqCst), (WORKERS * ROUNDS) as u64);
+    }
+
+    #[test]
+    fn dispatch_stamp_round_trips() {
+        let s = DispatchStamp::new();
+        assert_eq!(s.get(), (0, 0, 0, 0, 0));
+        s.set(7, 2, (1, 42, 3));
+        assert_eq!(s.get(), (7, 2, 1, 42, 3));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! substrate of `--metrics` and `experiments report`).
 
 pub mod event;
+pub mod keyed;
 pub mod pipeline;
 pub mod sink;
 pub mod stats;
@@ -34,6 +35,7 @@ pub use event::{
     CheckEvent, ControllerEvent, Layer, LayerMask, LinkEvent, MetaEvent, Record, TraceEvent,
     TransportEvent,
 };
+pub use keyed::{merge_keyed_parts, KeyedSink};
 pub use pipeline::{MetricsPipeline, PipelineConfig};
 pub use sink::{CsvSink, JsonlSink, NullSink, RingSink, TeeSink, TraceSink, Tracer};
 pub use stats::{Counter, Histogram, StatsReport, StatsSink};

@@ -38,6 +38,10 @@ pub struct PipelineConfig {
     pub ring_lines: usize,
     /// Run id stamped into every row (distinguishes runs in merged files).
     pub run: u64,
+    /// Keyed part-stream mode: prefix every row with its
+    /// `(t_ns, scope-rank, entity)` sort key (see [`crate::keyed`]), for
+    /// per-shard pipelines whose outputs are merged deterministically.
+    pub keyed: bool,
 }
 
 impl Default for PipelineConfig {
@@ -46,6 +50,7 @@ impl Default for PipelineConfig {
             bin: SimDuration::from_secs(1),
             ring_lines: 256,
             run: 0,
+            keyed: false,
         }
     }
 }
@@ -66,6 +71,12 @@ impl PipelineConfig {
     /// Sets the run id stamped into every row.
     pub fn with_run(mut self, run: u64) -> Self {
         self.run = run;
+        self
+    }
+
+    /// Enables keyed part-stream output (see [`PipelineConfig::keyed`]).
+    pub fn with_keyed(mut self, keyed: bool) -> Self {
+        self.keyed = keyed;
         self
     }
 }
@@ -168,13 +179,33 @@ struct LineRing {
     high_water: usize,
     lines_written: u64,
     csv: bool,
+    /// Keyed part-stream mode: each row is prefixed with its
+    /// `(t_ns, rank, a, b, 0, 0)` sort key, tab-separated from the
+    /// payload, so per-shard part files merge deterministically
+    /// ([`crate::keyed::merge_keyed_parts`]). Rank orders the scopes the
+    /// way `close_bin` emits them (subflow < conn < link < check), and
+    /// `(a, b)` is the entity id in `BTreeMap` iteration order — so a
+    /// single keyed part is already in key order, and the merged union
+    /// of per-shard parts reproduces the unkeyed 1-instance byte stream.
+    keyed: bool,
     w: Box<dyn Write + Send>,
 }
 
 impl LineRing {
-    fn emit(&mut self, run: u64, t_ns: u64, scope: &str, f: impl FnOnce(&mut RowBuf<'_>)) {
+    fn emit(
+        &mut self,
+        run: u64,
+        t_ns: u64,
+        scope: &str,
+        key: (u64, u64, u64),
+        f: impl FnOnce(&mut RowBuf<'_>),
+    ) {
         let mut s = self.spares.pop().unwrap_or_default();
         s.clear();
+        if self.keyed {
+            let (rank, a, b) = key;
+            let _ = write!(s, "{t_ns} {rank} {a} {b} 0 0\t");
+        }
         let mut row = RowBuf::begin(&mut s, self.csv, t_ns, run, scope);
         f(&mut row);
         row.end();
@@ -272,6 +303,22 @@ impl<'a> RowBuf<'a> {
     }
 }
 
+/// First 16 bytes of an invariant name as two big-endian words — a sort
+/// key whose order matches lexicographic name order (names never contain
+/// NUL, so zero padding sorts shorter names first). Names that share
+/// their first 16 bytes would collide, which is acceptable: clean runs
+/// emit no check rows at all, and the existing invariant names are
+/// distinct well before that.
+fn name_key(name: &str) -> (u64, u64) {
+    let mut b = [0u8; 16];
+    let n = name.len().min(16);
+    b[..n].copy_from_slice(&name.as_bytes()[..n]);
+    (
+        u64::from_be_bytes(b[..8].try_into().expect("8-byte slice")),
+        u64::from_be_bytes(b[8..].try_into().expect("8-byte slice")),
+    )
+}
+
 struct PipeInner {
     bin_ns: u64,
     run: u64,
@@ -299,29 +346,30 @@ impl PipeInner {
             if !b.active {
                 continue;
             }
-            self.ring.emit(run, t_ns, "subflow", |row| {
-                row.u64("conn", conn);
-                row.u64("subflow", subflow as u64);
-                row.u64("sends", b.sends);
-                row.u64("send_bytes", b.send_bytes);
-                row.u64("reinjections", b.reinjections);
-                row.u64("reinj_bytes", b.reinj_bytes);
-                row.u64("acks", b.acks);
-                row.u64("acked_bytes", b.acked_bytes);
-                row.f64("goodput_mbps", b.acked_bytes as f64 * 8.0 / bin_secs / 1e6);
-                row.u64("sack_losses", b.sack_losses);
-                row.u64("rtos", b.rtos);
-                if let Some(r) = b.rate_mbps {
-                    row.f64("rate_mbps", r);
-                }
-                row.u64("rtt_count", b.rtt_us.count());
-                if b.rtt_us.count() > 0 {
-                    row.f64("rtt_p50_us", b.rtt_us.p50());
-                    row.f64("rtt_p95_us", b.rtt_us.p95());
-                    row.f64("rtt_p99_us", b.rtt_us.p99());
-                    row.f64("rtt_p999_us", b.rtt_us.p999());
-                }
-            });
+            self.ring
+                .emit(run, t_ns, "subflow", (0, conn, subflow as u64), |row| {
+                    row.u64("conn", conn);
+                    row.u64("subflow", subflow as u64);
+                    row.u64("sends", b.sends);
+                    row.u64("send_bytes", b.send_bytes);
+                    row.u64("reinjections", b.reinjections);
+                    row.u64("reinj_bytes", b.reinj_bytes);
+                    row.u64("acks", b.acks);
+                    row.u64("acked_bytes", b.acked_bytes);
+                    row.f64("goodput_mbps", b.acked_bytes as f64 * 8.0 / bin_secs / 1e6);
+                    row.u64("sack_losses", b.sack_losses);
+                    row.u64("rtos", b.rtos);
+                    if let Some(r) = b.rate_mbps {
+                        row.f64("rate_mbps", r);
+                    }
+                    row.u64("rtt_count", b.rtt_us.count());
+                    if b.rtt_us.count() > 0 {
+                        row.f64("rtt_p50_us", b.rtt_us.p50());
+                        row.f64("rtt_p95_us", b.rtt_us.p95());
+                        row.f64("rtt_p99_us", b.rtt_us.p99());
+                        row.f64("rtt_p999_us", b.rtt_us.p999());
+                    }
+                });
             b.reset();
         }
         self.subflows = subflows;
@@ -331,7 +379,7 @@ impl PipeInner {
             if !b.active {
                 continue;
             }
-            self.ring.emit(run, t_ns, "conn", |row| {
+            self.ring.emit(run, t_ns, "conn", (1, conn, 0), |row| {
                 row.u64("conn", conn);
                 row.u64("mi_started", b.mi_started);
                 row.u64("mi_completed", b.mi_completed);
@@ -359,27 +407,29 @@ impl PipeInner {
             if !b.active {
                 continue;
             }
-            self.ring.emit(run, t_ns, "link", |row| {
-                row.u64("link", link as u64);
-                row.u64("enqueued", b.enqueued);
-                row.u64("enq_bytes", b.enq_bytes);
-                row.f64("throughput_mbps", b.enq_bytes as f64 * 8.0 / bin_secs / 1e6);
-                row.u64("drop_overflow", b.drop_overflow);
-                row.u64("drop_random", b.drop_random);
-                row.u64("drop_burst", b.drop_burst);
-                row.u64("drop_outage", b.drop_outage);
-                row.u64("reordered", b.reordered);
-                row.u64("duplicated", b.duplicated);
-                row.u64("queue_bytes_last", b.queue_bytes_last);
-                row.u64("queue_bytes_max", b.queue_bytes_max);
-            });
+            self.ring
+                .emit(run, t_ns, "link", (2, link as u64, 0), |row| {
+                    row.u64("link", link as u64);
+                    row.u64("enqueued", b.enqueued);
+                    row.u64("enq_bytes", b.enq_bytes);
+                    row.f64("throughput_mbps", b.enq_bytes as f64 * 8.0 / bin_secs / 1e6);
+                    row.u64("drop_overflow", b.drop_overflow);
+                    row.u64("drop_random", b.drop_random);
+                    row.u64("drop_burst", b.drop_burst);
+                    row.u64("drop_outage", b.drop_outage);
+                    row.u64("reordered", b.reordered);
+                    row.u64("duplicated", b.duplicated);
+                    row.u64("queue_bytes_last", b.queue_bytes_last);
+                    row.u64("queue_bytes_max", b.queue_bytes_max);
+                });
             b.reset();
         }
         self.links = links;
 
         let mut checks = std::mem::take(&mut self.checks);
         for (&invariant, n) in checks.iter_mut().filter(|(_, n)| **n > 0) {
-            self.ring.emit(run, t_ns, "check", |row| {
+            let (a, b) = name_key(invariant);
+            self.ring.emit(run, t_ns, "check", (3, a, b), |row| {
                 row.str("invariant", invariant);
                 row.u64("count", *n);
             });
@@ -421,6 +471,7 @@ impl MetricsPipeline {
                     high_water: 0,
                     lines_written: 0,
                     csv,
+                    keyed: cfg.keyed,
                     w,
                 },
             }),
@@ -761,6 +812,45 @@ mod tests {
         assert_eq!(p.lines_written(), 1000);
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         assert_eq!(text.lines().count(), 1000);
+    }
+
+    #[test]
+    fn keyed_mode_prefixes_rows_and_keeps_payload_bytes() {
+        let plain = Shared::default();
+        let keyed = Shared::default();
+        for (buf, keyed_mode) in [(&plain, false), (&keyed, true)] {
+            let p = MetricsPipeline::new(
+                PipelineConfig::default().with_keyed(keyed_mode),
+                false,
+                Box::new(buf.clone()),
+            );
+            p.record(&ack(100, 3000, 25_000));
+            p.record(&at(
+                200,
+                ControllerEvent::RateStep {
+                    conn: 1,
+                    subflow: 0,
+                    from_mbps: 1.0,
+                    to_mbps: 5.0,
+                    gradient_sign: 1,
+                },
+            ));
+            p.flush();
+        }
+        let plain = String::from_utf8(plain.0.lock().unwrap().clone()).unwrap();
+        let keyed = String::from_utf8(keyed.0.lock().unwrap().clone()).unwrap();
+        let keys: Vec<&str> = keyed
+            .lines()
+            .map(|l| l.split_once('\t').unwrap().0)
+            .collect();
+        // subflow rank 0 keyed by (conn, subflow); conn rank 1 by (conn, 0).
+        assert_eq!(keys, ["1000000000 0 1 0 0 0", "1000000000 1 1 0 0 0"]);
+        // Stripping the prefixes reproduces the unkeyed bytes exactly.
+        let stripped: String = keyed
+            .lines()
+            .map(|l| format!("{}\n", l.split_once('\t').unwrap().1))
+            .collect();
+        assert_eq!(stripped, plain);
     }
 
     #[test]

@@ -145,6 +145,9 @@ pub struct MpSender {
     /// Reusable scheduler-input buffer (the staging loop runs per ACK and
     /// must not allocate).
     view_buf: Vec<scheduler::SubflowView>,
+    /// Measurement-interval reports delivered to the controller over the
+    /// connection lifetime; a liveness probe for the MI cycle.
+    mi_reports: u64,
     /// Invariant-check cadence counter: the O(n) scoreboard deep scan runs
     /// every 64th check call, the O(1) conservation law on every call.
     #[cfg(any(debug_assertions, feature = "invariants"))]
@@ -170,6 +173,7 @@ impl MpSender {
             tracer: Tracer::off(),
             conn_id: 0,
             view_buf: Vec::new(),
+            mi_reports: 0,
             #[cfg(any(debug_assertions, feature = "invariants"))]
             check_tick: 0,
         }
@@ -228,6 +232,19 @@ impl MpSender {
     /// quantities such as the minimum RTT are pruned against it).
     pub fn subflow_stats(&self, i: usize, now: SimTime) -> SubflowStats {
         self.subflows[i].stats(now)
+    }
+
+    /// Closed-but-unresolved measurement intervals queued on subflow `i`.
+    /// Bounded by `MAX_MI_BACKLOG` during feedback blackouts; exposed so
+    /// regression tests can pin the bound.
+    pub fn mi_backlog(&self, i: usize) -> usize {
+        self.subflows[i].mi.pending_len()
+    }
+
+    /// Total measurement-interval reports delivered to the controller.
+    /// Growth proves the close→resolve→report cycle is alive.
+    pub fn mi_reports(&self) -> u64 {
+        self.mi_reports
     }
 
     /// In-order bytes the receiver has confirmed delivered.
@@ -315,6 +332,7 @@ impl MpSender {
         for report in self.subflows[sf].mi.poll_completed(sf, now) {
             self.check_mi_report(&report, now);
             self.cc.on_mi_complete(&report);
+            self.mi_reports += 1;
         }
     }
 

@@ -1,0 +1,99 @@
+//! Regression test for the measurement-interval backlog cap
+//! (`MAX_MI_BACKLOG` in the transport sender).
+//!
+//! During a total feedback blackout the K_MI timer keeps closing
+//! intervals that can never resolve (their packets are black-holed, and
+//! RTO-driven resolution lags behind the exponential backoff), so the
+//! closed-but-unresolved queue deepens without bound. The cap must hold
+//! the queue at exactly `MAX_MI_BACKLOG` (64) by *extending* the running
+//! interval — re-arming the K_MI timer — rather than beginning another
+//! one. The regression this pins: if the timer is not re-armed at the
+//! cap, the MI state machine dies permanently and the controller never
+//! sees another measurement after the path heals.
+
+use mpcc::{Mpcc, MpccConfig};
+use mpcc_netsim::fault::{FaultPlan, OutageSchedule};
+use mpcc_netsim::link::LinkParams;
+use mpcc_netsim::topology::parallel_links;
+use mpcc_simcore::{Rate, SimDuration, SimTime};
+use mpcc_transport::{MpReceiver, MpSender, SchedulerKind, SenderConfig, Workload};
+
+const CAP: usize = 64;
+
+#[test]
+fn mi_backlog_caps_at_64_during_blackout_and_recovers() {
+    // One short-RTT path that black-holes from 0.5 s to 20.5 s. The MI
+    // duration tracks the srtt (a few ms here) while the RTO is floored at
+    // 200 ms, so the K_MI timer closes dozens of unresolvable intervals
+    // before the first RTO can drain the queue — the exact regime the cap
+    // was added for. A working tail proves the cycle survived.
+    let outage = OutageSchedule::once(SimTime::from_millis(500), SimDuration::from_secs(20));
+    let params = LinkParams::paper_default()
+        .with_capacity(Rate::from_mbps(20.0))
+        .with_delay(SimDuration::from_micros(500))
+        .with_faults(FaultPlan::NONE.with_outage(outage));
+    let mut net = parallel_links(0x3141, &[params]);
+    let p0 = net.path(0);
+    let mut sim = net.sim;
+    let recv = sim.add_endpoint(Box::new(MpReceiver::paper_default()));
+    let cfg = SenderConfig {
+        dst: recv,
+        paths: vec![p0],
+        workload: Workload::Bulk,
+        scheduler: SchedulerKind::paper_rate_based(),
+        start_at: SimTime::ZERO,
+        peer_buffer: 300_000_000,
+    };
+    let cc = Box::new(Mpcc::new(MpccConfig::loss().with_seed(7)));
+    let sender = sim.add_endpoint(Box::new(MpSender::new(cfg, cc)));
+
+    // Drive the blackout in slices: the backlog must never exceed the cap
+    // at any observation point, and must reach it (a blackout shallower
+    // than the cap would not exercise the extend-don't-begin branch).
+    let mut peak = 0usize;
+    let mut t = SimTime::ZERO;
+    while t < SimTime::from_secs(20) {
+        t += SimDuration::from_millis(100);
+        sim.run_until(t);
+        let backlog = sim.endpoint::<MpSender>(sender).mi_backlog(0);
+        assert!(
+            backlog <= CAP,
+            "MI backlog {backlog} exceeds MAX_MI_BACKLOG at t={t:?}"
+        );
+        peak = peak.max(backlog);
+    }
+    assert_eq!(
+        peak, CAP,
+        "the blackout must drive the backlog to the cap exactly"
+    );
+    let acked_blackout = sim.endpoint::<MpSender>(sender).data_acked();
+
+    // Heal and let the queue drain: RTO retransmissions get acked, the old
+    // intervals resolve in order, and the extended running interval closes.
+    sim.run_until(SimTime::from_secs(25));
+    let s = sim.endpoint::<MpSender>(sender);
+    assert!(
+        s.mi_backlog(0) < CAP,
+        "backlog never drained after the path healed"
+    );
+    let reports_at_25s = s.mi_reports();
+
+    // The regression this pins: if the K_MI timer is not re-armed at the
+    // cap, no interval ever closes again and the controller never sees
+    // another measurement. With the fix, reports keep streaming (MI
+    // duration tracks the few-ms srtt, so 20 s yields thousands) and the
+    // transfer keeps making progress.
+    sim.run_until(SimTime::from_secs(45));
+    let s = sim.endpoint::<MpSender>(sender);
+    assert!(
+        s.mi_reports() > reports_at_25s + 1_000,
+        "MI cycle died at the cap: only {} reports in 20 s post-heal",
+        s.mi_reports() - reports_at_25s
+    );
+    assert!(
+        s.data_acked() > acked_blackout + 100_000,
+        "no post-heal progress (acked {} -> {})",
+        acked_blackout,
+        s.data_acked()
+    );
+}
